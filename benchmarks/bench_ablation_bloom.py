@@ -1,0 +1,56 @@
+"""Ablation: the Bloom filter in front of the delta hash table.
+
+Section 4.2: 'Optionally, we could use a main-memory Bloom filter,
+which would predict the majority of non-outliers, and thus save several
+probes into the hash table.'  This bench measures exactly that saving —
+hash-table probes per cell query with and without the filter — and the
+filter's memory cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, format_table
+from repro.core import SVDDCompressor
+from repro.query import random_cell_queries
+
+
+def test_ablation_bloom(phone2000, benchmark):
+    queries = random_cell_queries(phone2000.shape, count=5000, seed=12)
+
+    with_bloom = SVDDCompressor(budget_fraction=0.10, use_bloom=True).fit(phone2000)
+    without = SVDDCompressor(budget_fraction=0.10, use_bloom=False).fit(phone2000)
+
+    def run(model) -> tuple[int, int]:
+        model.stats["bloom_skips"] = 0
+        model.stats["table_probes"] = 0
+        model.deltas.reset_probe_count()
+        for query in queries:
+            model.reconstruct_cell(query.row, query.col)
+        return model.stats["table_probes"], model.deltas.probe_count
+
+    probes_with, slots_with = run(with_bloom)
+    probes_without, slots_without = run(without)
+
+    rows = [
+        ["with bloom", f"{probes_with}", f"{slots_with}",
+         f"{with_bloom.bloom.size_bytes()}"],
+        ["without", f"{probes_without}", f"{slots_without}", "0"],
+    ]
+    lines = format_table(
+        f"Ablation: Bloom filter probe savings ({len(queries)} cell queries, "
+        f"{with_bloom.num_deltas} deltas)",
+        ["variant", "table probes", "slot inspections", "filter bytes"],
+        rows,
+    )
+    saving = 1 - probes_with / max(probes_without, 1)
+    lines.append(f"probe saving: {saving:.1%}")
+    fpr = with_bloom.bloom.estimated_false_positive_rate()
+    lines.append(f"estimated false-positive rate at load: {fpr:.3%}")
+    emit("ablation_bloom", lines)
+
+    # Every query probes the table without the filter; with it, only
+    # true outliers and rare false positives do.
+    assert probes_without == len(queries)
+    assert probes_with < probes_without * 0.2
+
+    benchmark(lambda: with_bloom.reconstruct_cell(500, 100))

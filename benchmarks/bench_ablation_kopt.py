@@ -1,0 +1,66 @@
+"""Ablation: SVDD's k_opt decision — principal components vs deltas.
+
+Section 5.1 observes that for very small budgets the optimizer devotes
+*all* space to principal components (gamma = 0), and that at larger
+budgets trading some components for deltas wins.  This bench sweeps the
+budget and reports the chosen k_opt, the delta count, and the error of
+SVDD against two fixed policies:
+
+- 'all-PC': plain SVD with k = k_max (never store deltas);
+- 'half-PC': k = k_max/2 with the rest of the budget in deltas.
+
+Expected shape: SVDD's adaptive choice is never worse than either fixed
+policy (it searches over exactly that family).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import BUDGET_SWEEP, emit, format_table
+from repro.core import SVDCompressor, SVDDCompressor, max_k_for_budget
+from repro.metrics import rmspe
+
+
+def test_ablation_kopt(phone2000, benchmark):
+    rows = []
+    adaptive_errors, all_pc_errors, half_pc_errors = [], [], []
+    for budget in BUDGET_SWEEP:
+        svdd = SVDDCompressor(budget_fraction=budget).fit(phone2000)
+        k_max = max_k_for_budget(*phone2000.shape, budget)
+        all_pc = SVDCompressor(k=k_max).fit(phone2000)
+        half_k = max(1, k_max // 2)
+        half_pc = SVDDCompressor(budget_fraction=budget, k_max=half_k).fit(phone2000)
+
+        err_adaptive = rmspe(phone2000, svdd.reconstruct())
+        err_all_pc = rmspe(phone2000, all_pc.reconstruct())
+        err_half = rmspe(phone2000, half_pc.reconstruct())
+        adaptive_errors.append(err_adaptive)
+        all_pc_errors.append(err_all_pc)
+        half_pc_errors.append(err_half)
+        rows.append(
+            [
+                f"{budget:.1%}",
+                f"{svdd.cutoff}/{k_max}",
+                f"{svdd.num_deltas}",
+                f"{err_adaptive:.4f}",
+                f"{err_all_pc:.4f}",
+                f"{err_half:.4f}",
+            ]
+        )
+    lines = format_table(
+        "Ablation: adaptive k_opt vs fixed split policies (phone2000)",
+        ["s%", "k_opt/k_max", "deltas", "SVDD", "all-PC", "half-PC"],
+        rows,
+    )
+    emit("ablation_kopt", lines)
+
+    # Adaptive never loses to the all-PC policy (it includes it), and the
+    # half-PC policy is a restriction of the same search space.
+    for adaptive, all_pc in zip(adaptive_errors, all_pc_errors):
+        assert adaptive <= all_pc + 1e-9
+    # At generous budgets deltas must actually be in use.
+    final = SVDDCompressor(budget_fraction=0.25).fit(phone2000)
+    assert final.num_deltas > 0
+
+    benchmark(lambda: SVDDCompressor(budget_fraction=0.05).fit(phone2000))

@@ -1,0 +1,50 @@
+"""Figure 10: RMSPE vs storage for increasing dataset sizes (SVDD on
+'phone100K' row subsets).
+
+Expected shape: the error-vs-space curves are nearly identical for all
+N — the method's accuracy does not degrade with dataset size.  The
+paper runs N = 1,000 ... 100,000; the default ladder here stops at
+20,000 so the harness finishes in CI time (set REPRO_BENCH_SCALE=full
+for the full ladder).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table, scaleup_ladder
+from repro.core import SVDDCompressor
+from repro.data import phone_matrix
+from repro.metrics import rmspe
+
+BUDGETS = (0.02, 0.05, 0.10, 0.20)
+
+
+def test_fig10_scaleup(benchmark):
+    ladder = scaleup_ladder()
+    header = ["N"] + [f"s={budget:.0%}" for budget in BUDGETS]
+    rows = []
+    per_budget_errors: dict[float, list[float]] = {budget: [] for budget in BUDGETS}
+    for n in ladder:
+        data = phone_matrix(n)
+        cells = [str(n)]
+        for budget in BUDGETS:
+            model = SVDDCompressor(budget_fraction=budget).fit(data)
+            error = rmspe(data, model.reconstruct())
+            per_budget_errors[budget].append(error)
+            cells.append(f"{error:.4f}")
+        rows.append(cells)
+    lines = format_table(
+        "Figure 10: RMSPE vs space for increasing N (SVDD, phone data)",
+        header,
+        rows,
+    )
+    emit("fig10_scaleup", lines)
+
+    # Homogeneity across N: at each budget the spread across the ladder
+    # stays within a small factor (the curves 'overlap' in the paper).
+    for budget, errors in per_budget_errors.items():
+        assert max(errors) / min(errors) < 2.5, (budget, errors)
+
+    data = phone_matrix(ladder[1])
+    benchmark(lambda: SVDDCompressor(budget_fraction=0.10).fit(data))

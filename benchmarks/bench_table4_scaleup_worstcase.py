@@ -1,0 +1,50 @@
+"""Table 4: worst-case normalized error at 10% storage vs dataset size,
+SVD vs SVDD.
+
+Expected shape: plain SVD's worst case *grows* with N (a bigger dataset
+means a bigger chance of one badly-reconstructed outlier), while SVDD's
+stays approximately constant — the paper's strongest argument for the
+delta mechanism.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, format_table, scaleup_ladder
+from repro.core import SVDCompressor, SVDDCompressor
+from repro.data import phone_matrix
+from repro.metrics import worst_case_error
+
+BUDGET = 0.10
+
+
+def test_table4_worst_case_scaleup(benchmark):
+    ladder = scaleup_ladder()
+    rows = []
+    svd_norms, svdd_norms = [], []
+    for n in ladder:
+        data = phone_matrix(n)
+        svd = SVDCompressor(budget_fraction=BUDGET).fit(data)
+        svdd = SVDDCompressor(budget_fraction=BUDGET).fit(data)
+        _, svd_norm = worst_case_error(data, svd.reconstruct())
+        _, svdd_norm = worst_case_error(data, svdd.reconstruct())
+        svd_norms.append(svd_norm)
+        svdd_norms.append(svdd_norm)
+        rows.append([f"phone{n}", f"{svd_norm:.1%}", f"{svdd_norm:.2%}"])
+    lines = format_table(
+        "Table 4: worst-case normalized error @ 10% storage vs N",
+        ["dataset", "SVD (normalized)", "SVDD (normalized)"],
+        rows,
+    )
+    emit("table4_scaleup_worstcase", lines)
+
+    # SVDD stays bounded while SVD is much worse at every scale...
+    assert all(d < s for d, s in zip(svdd_norms, svd_norms))
+    # ...and SVDD's bound does not blow up across the ladder.
+    assert max(svdd_norms) / min(svdd_norms) < 5
+
+    data = phone_matrix(ladder[0])
+    benchmark(
+        lambda: worst_case_error(
+            data, SVDDCompressor(budget_fraction=BUDGET).fit(data).reconstruct()
+        )
+    )

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` in this offline environment falls back to the legacy
+`setup.py develop` path, which this file enables.  All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library the operational surface a deployed system would have:
+
+- ``build``   — compress an on-disk matrix (or a named dataset) into a
+  CompressedMatrix directory;
+- ``info``    — inspect a compressed model (shape, k, deltas, space);
+- ``cell``    — reconstruct one cell, reporting the disk accesses used;
+- ``aggregate`` — run an aggregate query over row/column ranges;
+- ``query``   — run a textual query ('avg() rows 0:100 cols 7:14');
+- ``verify``  — audit a model against its source data;
+- ``scatter`` — render the Appendix A scatter plot for a dataset;
+- ``datasets`` — list the built-in synthetic datasets;
+- ``wh-ingest`` / ``wh-list`` / ``wh-verify`` / ``wh-drop`` — manage a
+  multi-dataset warehouse catalog.
+
+Examples::
+
+    python -m repro build --dataset phone2000 --budget 0.10 --out model/
+    python -m repro info model/
+    python -m repro cell model/ 1234 200
+    python -m repro aggregate model/ --function avg --rows 0:100 --cols 7:14
+    python -m repro scatter stocks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CompressedMatrix, SVDDCompressor
+from repro.data import load_dataset
+from repro.exceptions import ReproError
+from repro.query import AggregateQuery, CellQuery, QueryEngine, Selection
+from repro.query.parser import parse_query
+from repro.storage import MatrixStore
+from repro.viz import ascii_scatter, outlier_rows, scatter_coordinates
+
+
+def _parse_range(text: str, extent: int) -> range:
+    """Parse 'a:b' / 'a' / ':' into a range within [0, extent)."""
+    if text == ":":
+        return range(extent)
+    if ":" in text:
+        start_text, stop_text = text.split(":", 1)
+        start = int(start_text) if start_text else 0
+        stop = int(stop_text) if stop_text else extent
+        return range(start, stop)
+    index = int(text)
+    return range(index, index + 1)
+
+
+def _load_matrix(args) -> np.ndarray | MatrixStore:
+    if args.dataset:
+        return load_dataset(args.dataset).matrix
+    return MatrixStore.open(args.input)
+
+
+def cmd_build(args) -> int:
+    """Handle ``repro build``: compress a source into a model directory.
+
+    Uses the constant-memory pipeline (U streamed to disk), so building
+    from an on-disk store never allocates O(N) memory.
+    """
+    from repro.core import build_compressed
+
+    source = _load_matrix(args)
+    store = build_compressed(source, args.out, budget_fraction=args.budget)
+    rows, cols = store.shape
+    fraction = store.space_bytes() / (rows * cols * 8)
+    print(
+        f"built {args.out}: shape {store.shape}, k={store.cutoff}, "
+        f"{store.num_deltas} deltas, {store.num_zero_rows} zero rows, "
+        f"{fraction:.2%} of original space"
+    )
+    store.close()
+    if isinstance(source, MatrixStore):
+        source.close()
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Handle ``repro info``: print a model's catalog facts."""
+    with CompressedMatrix.open(args.model) as store:
+        rows, cols = store.shape
+        print(f"model: {Path(args.model).resolve()}")
+        print(f"  matrix: {rows} x {cols}")
+        print(f"  principal components (k): {store.cutoff}")
+        print(f"  outlier deltas: {store.num_deltas}")
+        print(f"  flagged zero rows: {store.num_zero_rows}")
+        print(f"  model bytes (Eq. 9 accounting): {store.space_bytes()}")
+        print(f"  space fraction: {store.space_bytes() / (rows * cols * 8):.2%}")
+    return 0
+
+
+def cmd_cell(args) -> int:
+    """Handle ``repro cell``: reconstruct one cell with access accounting."""
+    with CompressedMatrix.open(args.model) as store:
+        store.u_pool_stats.reset()
+        value = store.cell(args.row, args.col)
+        print(f"cell ({args.row}, {args.col}) = {value:.6g}")
+        print(f"disk accesses: {store.u_pool_stats.misses}")
+    return 0
+
+
+def cmd_aggregate(args) -> int:
+    """Handle ``repro aggregate``: run one aggregate over ranges."""
+    with CompressedMatrix.open(args.model) as store:
+        rows, cols = store.shape
+        selection = Selection(
+            rows=_parse_range(args.rows, rows), cols=_parse_range(args.cols, cols)
+        )
+        query = AggregateQuery(args.function, selection)
+        result = QueryEngine(store).aggregate(query)
+        print(
+            f"{args.function}(rows={args.rows}, cols={args.cols}) = "
+            f"{result.value:.6g}  ({result.cells_touched} cells)"
+        )
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Handle ``repro query``: parse and run a textual query."""
+    with CompressedMatrix.open(args.model) as store:
+        engine = QueryEngine(store)
+        query = parse_query(args.text)
+        if isinstance(query, CellQuery):
+            result = engine.cell(query)
+        else:
+            result = engine.aggregate(query)
+        print(f"{args.text.strip()} = {result.value:.6g}")
+        print(f"cells touched: {result.cells_touched}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Handle ``repro verify``: audit a model against its source."""
+    from repro.core.verify import verify_model
+    from repro.storage import MatrixStore
+
+    with CompressedMatrix.open(args.model) as store:
+        if args.dataset:
+            source = load_dataset(args.dataset).matrix
+            report = verify_model(source, store)
+        else:
+            raw = MatrixStore.open(args.input)
+            try:
+                report = verify_model(raw, store)
+            finally:
+                raw.close()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_scatter(args) -> int:
+    """Handle ``repro scatter``: print the Appendix A ASCII plot."""
+    dataset = load_dataset(args.dataset)
+    coords = scatter_coordinates(dataset.matrix, dimensions=2)
+    print(f"{dataset.name}: {dataset.description}")
+    print(ascii_scatter(coords, width=args.width, height=args.height))
+    flagged = outlier_rows(coords)
+    print(f"outlier rows: {flagged.tolist()[:20]}")
+    return 0
+
+
+def _warehouse(args):
+    from repro.warehouse import Warehouse
+
+    return Warehouse(args.root)
+
+
+def cmd_wh_ingest(args) -> int:
+    """Handle ``repro wh-ingest``: compress a dataset into a warehouse."""
+    warehouse = _warehouse(args)
+    matrix = load_dataset(args.dataset).matrix
+    entry = warehouse.ingest(args.name, matrix, budget_fraction=args.budget)
+    print(
+        f"ingested {entry.name}: {entry.rows}x{entry.cols}, k={entry.cutoff}, "
+        f"{entry.num_deltas} deltas, verified RMSPE={entry.verified_rmspe:.5f}"
+    )
+    return 0
+
+
+def cmd_wh_list(args) -> int:
+    """Handle ``repro wh-list``: print the warehouse catalog."""
+    warehouse = _warehouse(args)
+    if not warehouse.names():
+        print("(empty warehouse)")
+        return 0
+    for name in warehouse.names():
+        entry = warehouse.entry(name)
+        verified = (
+            f"RMSPE={entry.verified_rmspe:.5f}"
+            if entry.verified_rmspe is not None
+            else "unverified"
+        )
+        print(
+            f"{entry.name}: {entry.rows}x{entry.cols} @ "
+            f"{entry.budget_fraction:.0%}  k={entry.cutoff} "
+            f"deltas={entry.num_deltas}  {verified}"
+        )
+    print(f"total model bytes: {warehouse.total_model_bytes()}")
+    return 0
+
+
+def cmd_wh_verify(args) -> int:
+    """Handle ``repro wh-verify``: re-audit one warehouse dataset."""
+    report = _warehouse(args).verify(args.name)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_wh_drop(args) -> int:
+    """Handle ``repro wh-drop``: remove one warehouse dataset."""
+    _warehouse(args).drop(args.name)
+    print(f"dropped {args.name}")
+    return 0
+
+
+def cmd_datasets(_args) -> int:
+    """Handle ``repro datasets``: list built-in dataset names."""
+    from repro.data import dataset_names
+
+    for name in dataset_names():
+        print(name)
+    print("(any phone<N> or phone<N>k name also works, e.g. phone2500)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SVDD-compressed time-sequence store (SIGMOD 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="compress a matrix into a model directory")
+    group = build.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", help="built-in dataset name (e.g. phone2000)")
+    group.add_argument("--input", help="path to a MatrixStore file")
+    build.add_argument("--budget", type=float, default=0.10, help="space fraction")
+    build.add_argument("--out", required=True, help="output model directory")
+    build.set_defaults(func=cmd_build)
+
+    info = sub.add_parser("info", help="inspect a compressed model")
+    info.add_argument("model", help="model directory")
+    info.set_defaults(func=cmd_info)
+
+    cell = sub.add_parser("cell", help="reconstruct one cell")
+    cell.add_argument("model", help="model directory")
+    cell.add_argument("row", type=int)
+    cell.add_argument("col", type=int)
+    cell.set_defaults(func=cmd_cell)
+
+    aggregate = sub.add_parser("aggregate", help="run an aggregate query")
+    aggregate.add_argument("model", help="model directory")
+    aggregate.add_argument(
+        "--function", default="avg", help="sum|avg|count|min|max|stddev"
+    )
+    aggregate.add_argument("--rows", default=":", help="row range a:b (default all)")
+    aggregate.add_argument("--cols", default=":", help="col range a:b (default all)")
+    aggregate.set_defaults(func=cmd_aggregate)
+
+    query = sub.add_parser("query", help="run a textual query against a model")
+    query.add_argument("model", help="model directory")
+    query.add_argument(
+        "text", help="e.g. 'avg() rows 0:100 cols 7:14' or 'cell(3, 5)'"
+    )
+    query.set_defaults(func=cmd_query)
+
+    verify = sub.add_parser("verify", help="audit a model against its source")
+    verify.add_argument("model", help="model directory")
+    vgroup = verify.add_mutually_exclusive_group(required=True)
+    vgroup.add_argument("--dataset", help="built-in dataset the model was built from")
+    vgroup.add_argument("--input", help="path to the source MatrixStore")
+    verify.set_defaults(func=cmd_verify)
+
+    scatter = sub.add_parser("scatter", help="Appendix A scatter plot of a dataset")
+    scatter.add_argument("dataset", help="dataset name")
+    scatter.add_argument("--width", type=int, default=72)
+    scatter.add_argument("--height", type=int, default=20)
+    scatter.set_defaults(func=cmd_scatter)
+
+    datasets = sub.add_parser("datasets", help="list built-in datasets")
+    datasets.set_defaults(func=cmd_datasets)
+
+    wh_ingest = sub.add_parser("wh-ingest", help="ingest a dataset into a warehouse")
+    wh_ingest.add_argument("--root", required=True, help="warehouse directory")
+    wh_ingest.add_argument("--name", required=True, help="catalog name")
+    wh_ingest.add_argument("--dataset", required=True, help="built-in dataset")
+    wh_ingest.add_argument("--budget", type=float, default=0.10)
+    wh_ingest.set_defaults(func=cmd_wh_ingest)
+
+    wh_list = sub.add_parser("wh-list", help="list a warehouse's catalog")
+    wh_list.add_argument("--root", required=True)
+    wh_list.set_defaults(func=cmd_wh_list)
+
+    wh_verify = sub.add_parser("wh-verify", help="re-audit one warehouse dataset")
+    wh_verify.add_argument("--root", required=True)
+    wh_verify.add_argument("name")
+    wh_verify.set_defaults(func=cmd_wh_verify)
+
+    wh_drop = sub.add_parser("wh-drop", help="remove one warehouse dataset")
+    wh_drop.add_argument("--root", required=True)
+    wh_drop.add_argument("name")
+    wh_drop.set_defaults(func=cmd_wh_drop)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: SVD and SVDD compression.
+
+- :class:`SVDCompressor` — two-pass out-of-core truncated SVD
+  (Section 4.1);
+- :class:`SVDDCompressor` — three-pass SVD-with-Deltas (Section 4.2,
+  Figure 5), the proposed method;
+- :class:`SVDModel` / :class:`SVDDModel` — the fitted in-memory models
+  with O(k) cell reconstruction (Eq. 12);
+- :class:`CompressedMatrix` — the persistent, disk-resident form with
+  the paper's one-disk-access physical layout;
+- :mod:`repro.core.space` — the Eq. 9 space accounting shared by all
+  methods.
+"""
+
+from repro.core.build import build_compressed, estimate_build_memory
+from repro.core.model import SVDDModel, SVDModel, cell_key
+from repro.core.robust import RobustSVDCompressor, RobustSVDDCompressor
+from repro.core.streaming import append_rows, project_rows, subspace_residual
+from repro.core.updates import BatchUpdater
+from repro.core.verify import VerificationReport, verify_model
+from repro.core.space import (
+    BYTES_PER_VALUE,
+    DELTA_RECORD_BYTES,
+    delta_budget,
+    max_k_for_budget,
+    svd_space_bytes,
+    svd_space_fraction,
+    svdd_space_bytes,
+    uncompressed_bytes,
+)
+from repro.core.store import CompressedMatrix
+from repro.core.svd import (
+    SVDCompressor,
+    compute_gram,
+    compute_u,
+    compute_u_to_store,
+    spectrum_from_gram,
+)
+from repro.core.svdd import NaiveSVDDCompressor, SVDDCompressor
+
+__all__ = [
+    "BYTES_PER_VALUE",
+    "BatchUpdater",
+    "RobustSVDCompressor",
+    "RobustSVDDCompressor",
+    "CompressedMatrix",
+    "DELTA_RECORD_BYTES",
+    "SVDCompressor",
+    "NaiveSVDDCompressor",
+    "SVDDCompressor",
+    "SVDDModel",
+    "SVDModel",
+    "VerificationReport",
+    "append_rows",
+    "build_compressed",
+    "estimate_build_memory",
+    "verify_model",
+    "cell_key",
+    "project_rows",
+    "subspace_residual",
+    "compute_gram",
+    "compute_u",
+    "compute_u_to_store",
+    "delta_budget",
+    "max_k_for_budget",
+    "spectrum_from_gram",
+    "svd_space_bytes",
+    "svd_space_fraction",
+    "svdd_space_bytes",
+    "uncompressed_bytes",
+]

@@ -1,0 +1,233 @@
+"""Plain SVD compression — the paper's two-pass algorithm (Section 4.1).
+
+The decomposition of the huge ``N x M`` matrix is reduced to an
+in-memory eigenproblem on the small ``M x M`` Gram matrix (Lemma 3.2):
+
+- **Pass 1** (:func:`compute_gram`): stream rows, accumulating
+  ``C = X^t X`` (paper Figure 2);
+- *(in memory)* eigendecompose ``C = V L^2 V^t``; the singular values
+  are the square roots of C's eigenvalues;
+- **Pass 2** (:func:`compute_u`): stream rows again, emitting
+  ``u_i = x_i V L^{-1}`` (paper Figure 3 / Eq. 11).
+
+Both passes work on a :class:`~repro.storage.matrix_store.MatrixStore`
+and never materialize ``X``; in-memory ndarrays are also accepted for
+convenience (the same code runs on an adapter that fakes the row
+stream).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.model import SVDModel
+from repro.core import space
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.linalg import SymmetricEigensolver, default_eigensolver
+from repro.storage.matrix_store import MatrixStore
+
+#: Relative threshold below which an eigenvalue of C is treated as zero
+#: (the matrix's numerical rank bound).
+_RANK_TOL = 1e-12
+
+_CHUNK_ROWS = 128
+
+
+def _row_chunks(source: MatrixStore | np.ndarray) -> Iterator[np.ndarray]:
+    """Yield row blocks from either a store (streamed) or an ndarray."""
+    if isinstance(source, MatrixStore):
+        block: list[np.ndarray] = []
+        for _, row in source.iter_rows():
+            block.append(row)
+            if len(block) >= _CHUNK_ROWS:
+                yield np.vstack(block)
+                block = []
+        if block:
+            yield np.vstack(block)
+    else:
+        arr = np.asarray(source, dtype=np.float64)
+        if arr.ndim != 2 or arr.size == 0:
+            raise ShapeError(f"expected a non-empty 2-d matrix, got shape {arr.shape}")
+        for start in range(0, arr.shape[0], _CHUNK_ROWS):
+            yield arr[start : start + _CHUNK_ROWS]
+
+
+def source_shape(source: MatrixStore | np.ndarray) -> tuple[int, int]:
+    """``(N, M)`` of a store or array input."""
+    if isinstance(source, MatrixStore):
+        return source.shape
+    arr = np.asarray(source)
+    if arr.ndim != 2:
+        raise ShapeError(f"expected a 2-d matrix, got ndim {arr.ndim}")
+    return arr.shape
+
+
+def compute_gram(source: MatrixStore | np.ndarray) -> np.ndarray:
+    """Pass 1: the ``M x M`` column-to-column similarity matrix ``C = X^t X``.
+
+    One sequential pass; memory is O(M^2) regardless of N (the paper's
+    stated requirement).
+    """
+    gram: np.ndarray | None = None
+    for block in _row_chunks(source):
+        if gram is None:
+            gram = np.zeros((block.shape[1], block.shape[1]))
+        gram += block.T @ block
+    if gram is None:
+        raise ShapeError("source produced no rows")
+    # Accumulation is exactly symmetric in theory; enforce it so the
+    # eigensolver sees a clean symmetric input despite float rounding.
+    return (gram + gram.T) / 2.0
+
+
+def spectrum_from_gram(
+    gram: np.ndarray,
+    k: int,
+    eigensolver: SymmetricEigensolver | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigendecompose ``C`` and return ``(singular_values, V)`` truncated to ``k``.
+
+    By Lemma 3.2 the eigenvalues of ``C`` are the squared singular
+    values of ``X``; eigenvalues at or below numerical zero are dropped,
+    so the returned cutoff can be smaller than ``k`` when the matrix has
+    lower rank (e.g. the rank-2 toy matrix of Table 1).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    solver = eigensolver or default_eigensolver()
+    result = solver.decompose_top(np.asarray(gram, dtype=np.float64), k)
+    eigenvalues = np.maximum(result.values, 0.0)
+    top = eigenvalues[0] if eigenvalues.size else 0.0
+    keep = eigenvalues > _RANK_TOL * max(top, 1.0)
+    singular_values = np.sqrt(eigenvalues[keep])
+    v = result.vectors[:, keep]
+    if singular_values.size == 0:
+        # A zero matrix: keep a single null component so downstream
+        # shapes stay consistent (reconstruction is identically zero).
+        singular_values = np.zeros(1)
+        v = np.zeros((gram.shape[0], 1))
+        v[0, 0] = 1.0
+    return singular_values, v
+
+
+def compute_u(
+    source: MatrixStore | np.ndarray,
+    singular_values: np.ndarray,
+    v: np.ndarray,
+) -> np.ndarray:
+    """Pass 2: ``U = X V L^{-1}`` (Eq. 10/11), streamed row by row.
+
+    Components with a zero singular value get zero coordinates (they
+    contribute nothing to reconstruction either way).
+    """
+    lam = np.asarray(singular_values, dtype=np.float64)
+    vmat = np.asarray(v, dtype=np.float64)
+    if lam.ndim != 1 or vmat.ndim != 2 or vmat.shape[1] != lam.shape[0]:
+        raise ShapeError(
+            f"inconsistent spectrum: V {vmat.shape}, singular values {lam.shape}"
+        )
+    inv_lam = np.where(lam > 0.0, 1.0 / np.where(lam > 0.0, lam, 1.0), 0.0)
+    blocks = []
+    for block in _row_chunks(source):
+        blocks.append((block @ vmat) * inv_lam)
+    return np.vstack(blocks)
+
+
+def compute_u_to_store(
+    source: "MatrixStore | np.ndarray",
+    singular_values: np.ndarray,
+    v: np.ndarray,
+    destination,
+    page_size: int | None = None,
+    dtype=np.float64,
+):
+    """Pass 2 variant that streams U rows straight to a new MatrixStore.
+
+    For truly huge N this is the production path: neither ``X`` nor
+    ``U`` is ever materialized — each row block is projected and
+    appended to the on-disk store.  Returns the open store.
+
+    Args:
+        destination: path for the U store.
+        page_size: page size for the U store (default: one U row,
+            giving the paper's one-access layout).
+        dtype: on-disk element type of U.
+    """
+    from repro.storage.matrix_store import MatrixStore
+
+    lam = np.asarray(singular_values, dtype=np.float64)
+    vmat = np.asarray(v, dtype=np.float64)
+    if lam.ndim != 1 or vmat.ndim != 2 or vmat.shape[1] != lam.shape[0]:
+        raise ShapeError(
+            f"inconsistent spectrum: V {vmat.shape}, singular values {lam.shape}"
+        )
+    inv_lam = np.where(lam > 0.0, 1.0 / np.where(lam > 0.0, lam, 1.0), 0.0)
+    item = np.dtype(dtype).itemsize
+    cols = lam.shape[0]
+    if page_size is None:
+        page_size = max(64, cols * item)
+
+    def u_rows():
+        for block in _row_chunks(source):
+            projected = (block @ vmat) * inv_lam
+            for row in projected:
+                yield row
+
+    return MatrixStore.create_from_rows(
+        destination, u_rows(), num_cols=cols, page_size=page_size, dtype=dtype
+    )
+
+
+class SVDCompressor:
+    """Two-pass truncated-SVD compressor (the paper's 'plain SVD').
+
+    Exactly one of ``k`` / ``budget_fraction`` chooses the cutoff:
+    ``k`` retains a fixed number of principal components;
+    ``budget_fraction`` retains as many as fit in ``s`` of the original
+    space per Eq. 9 ('keep as many eigenvectors as the space
+    restrictions permit', Section 3.4).
+
+    Args:
+        k: explicit cutoff.
+        budget_fraction: space budget ``s`` in (0, 1].
+        eigensolver: symmetric eigensolver for the Gram matrix
+            (default: LAPACK-backed).
+        bytes_per_value: the 'b' of the space accounting.
+    """
+
+    def __init__(
+        self,
+        k: int | None = None,
+        budget_fraction: float | None = None,
+        eigensolver: SymmetricEigensolver | None = None,
+        bytes_per_value: int = space.BYTES_PER_VALUE,
+    ) -> None:
+        if (k is None) == (budget_fraction is None):
+            raise ConfigurationError(
+                "exactly one of k / budget_fraction must be given"
+            )
+        if k is not None and k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.budget_fraction = budget_fraction
+        self.eigensolver = eigensolver or default_eigensolver()
+        self.bytes_per_value = bytes_per_value
+
+    def resolve_cutoff(self, num_rows: int, num_cols: int) -> int:
+        """The cutoff this compressor will use on an ``N x M`` input."""
+        if self.k is not None:
+            return min(self.k, num_rows, num_cols)
+        return space.max_k_for_budget(
+            num_rows, num_cols, self.budget_fraction, self.bytes_per_value
+        )
+
+    def fit(self, source: MatrixStore | np.ndarray) -> SVDModel:
+        """Run the two passes and return the truncated model."""
+        num_rows, num_cols = source_shape(source)
+        cutoff = self.resolve_cutoff(num_rows, num_cols)
+        gram = compute_gram(source)  # pass 1
+        singular_values, v = spectrum_from_gram(gram, cutoff, self.eigensolver)
+        u = compute_u(source, singular_values, v)  # pass 2
+        return SVDModel(u=u, eigenvalues=singular_values, v=v)

@@ -1,0 +1,293 @@
+"""SVDD — SVD with Deltas, the paper's proposed method (Section 4.2).
+
+Given a space budget ``s`` (fraction of the uncompressed matrix), SVDD
+trades principal components against explicitly stored outlier cells:
+
+    Given   a desired compression ratio s,
+    Find    the optimal number of principal components k_opt,
+    Such That  total reconstruction error is minimized when the
+               remaining budget stores cell-level deltas.
+
+The construction is the paper's 3-pass algorithm (Figure 5):
+
+- **Pass 1** — compute ``Lambda`` and ``V`` keeping ``k_max``
+  eigenvalues (the largest cutoff that fits the budget), and estimate
+  the affordable outlier count ``gamma_k`` for each candidate
+  ``k = 1 .. k_max``;
+- **Pass 2** — stream the matrix once; for every row compute the
+  reconstruction error under every candidate ``k``, feed the worst
+  cells into per-``k`` bounded priority queues of capacity ``gamma_k``,
+  and accumulate the post-correction error ``epsilon_k``; pick
+  ``k_opt = argmin_k epsilon_k``;
+- **Pass 3** — stream once more, emitting the rows of ``U`` for
+  ``k_opt`` (Eq. 11).
+
+Reconstruction of a cell is the plain-SVD estimate (Eq. 12) plus an
+exact correction when the cell is in the delta table — found via one
+hash probe, usually short-circuited by the Bloom filter for the
+overwhelming majority of non-outlier cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import space
+from repro.core.model import SVDDModel, SVDModel
+from repro.core.svd import (
+    _row_chunks,
+    compute_gram,
+    compute_u,
+    source_shape,
+    spectrum_from_gram,
+)
+from repro.exceptions import ConfigurationError
+from repro.linalg import SymmetricEigensolver, default_eigensolver
+from repro.storage.matrix_store import MatrixStore
+from repro.structures.bloom import BloomFilter
+from repro.structures.hashtable import OpenAddressingTable
+from repro.structures.topk import TopKBuffer
+
+
+class SVDDCompressor:
+    """Three-pass SVDD compressor.
+
+    Args:
+        budget_fraction: space budget ``s`` in (0, 1].
+        k_max: optional cap on the candidate cutoffs considered
+            (default: the largest cutoff that fits the budget).
+        eigensolver: solver for the Gram eigenproblem.
+        bytes_per_value: 'b' in the space accounting (the model's
+            per-number cost; 4 = float32 storage).
+        raw_bytes_per_value: element size of the uncompressed matrix the
+            budget is measured against (default: same as
+            bytes_per_value, the paper's accounting).
+        use_bloom: build the Bloom-filter front for the delta table
+            (paper: 'optionally, we could use a main-memory Bloom
+            filter').
+        bloom_fpr: target false-positive rate of that filter.
+    """
+
+    def __init__(
+        self,
+        budget_fraction: float,
+        k_max: int | None = None,
+        eigensolver: SymmetricEigensolver | None = None,
+        bytes_per_value: int = space.BYTES_PER_VALUE,
+        raw_bytes_per_value: int | None = None,
+        use_bloom: bool = True,
+        bloom_fpr: float = 0.01,
+    ) -> None:
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ConfigurationError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        if k_max is not None and k_max < 1:
+            raise ConfigurationError(f"k_max must be >= 1, got {k_max}")
+        self.budget_fraction = budget_fraction
+        self.k_max = k_max
+        self.eigensolver = eigensolver or default_eigensolver()
+        self.bytes_per_value = bytes_per_value
+        self.raw_bytes_per_value = raw_bytes_per_value
+        self.use_bloom = use_bloom
+        self.bloom_fpr = bloom_fpr
+
+    # -- pass 1 helpers ---------------------------------------------------
+
+    def _candidate_cutoffs(self, num_rows: int, num_cols: int) -> int:
+        k_fit = space.max_k_for_budget(
+            num_rows,
+            num_cols,
+            self.budget_fraction,
+            self.bytes_per_value,
+            self.raw_bytes_per_value,
+        )
+        return min(k_fit, self.k_max) if self.k_max is not None else k_fit
+
+    def _gamma(self, num_rows: int, num_cols: int, k: int) -> int:
+        gamma = space.delta_budget(
+            num_rows,
+            num_cols,
+            k,
+            self.budget_fraction,
+            self.bytes_per_value,
+            self.raw_bytes_per_value,
+        )
+        # Storing more deltas than cells is meaningless.
+        return min(gamma, num_rows * num_cols)
+
+    # -- the 3-pass fit -------------------------------------------------------
+
+    def fit(self, source: MatrixStore | np.ndarray) -> SVDDModel:
+        """Run the three passes and return the fitted :class:`SVDDModel`."""
+        num_rows, num_cols = source_shape(source)
+
+        # ---- Pass 1: Lambda and V at k_max; per-k delta budgets.
+        k_max = self._candidate_cutoffs(num_rows, num_cols)
+        gram = compute_gram(source)
+        singular_values, v = spectrum_from_gram(gram, k_max, self.eigensolver)
+        k_max = singular_values.shape[0]  # effective rank may cut it down
+        gammas = [self._gamma(num_rows, num_cols, k) for k in range(1, k_max + 1)]
+        queues = [TopKBuffer(gamma) for gamma in gammas]
+
+        # ---- Pass 2: per-k cell errors -> priority queues + epsilon_k.
+        # The working tensor is (rows, k_max, M); cap its footprint at
+        # ~64 MiB by re-chunking wide blocks, so huge k_max * M products
+        # cannot exhaust memory.
+        max_tensor_rows = max(
+            1, (64 * 1024 * 1024) // (8 * max(1, k_max * num_cols))
+        )
+        sse = np.zeros(k_max)  # sum of squared errors per candidate k
+        row_base = 0
+        for outer_block in _row_chunks(source):
+            for start in range(0, outer_block.shape[0], max_tensor_rows):
+                block = outer_block[start : start + max_tensor_rows]
+                count = block.shape[0]
+                proj = block @ v  # (c, k_max): the U*Lambda coordinates
+                # Cumulative rank-k reconstructions: recon[:, k, :] uses k+1 terms.
+                terms = proj[:, :, None] * v.T[None, :, :]
+                recon = np.cumsum(terms, axis=1)
+                diff = block[:, None, :] - recon  # (c, k_max, M) deltas
+                sse += np.einsum("ckm,ckm->k", diff, diff)
+                keys = (
+                    (row_base + np.arange(count))[:, None] * num_cols
+                    + np.arange(num_cols)[None, :]
+                ).ravel()
+                for ki in range(k_max):
+                    deltas = diff[:, ki, :].ravel()
+                    queues[ki].offer(keys, deltas, np.abs(deltas))
+                row_base += count
+
+        # epsilon_k: residual error after the affordable deltas are
+        # corrected exactly (their squared error leaves the total).
+        epsilon = np.array(
+            [sse[ki] - queues[ki].retained_score_sq_sum() for ki in range(k_max)]
+        )
+        epsilon = np.maximum(epsilon, 0.0)  # guard float cancellation
+        k_opt = int(np.argmin(epsilon)) + 1
+
+        # ---- Pass 3: U for the chosen cutoff.
+        lam_opt = singular_values[:k_opt]
+        v_opt = v[:, :k_opt]
+        u = compute_u(source, lam_opt, v_opt)
+        svd_model = SVDModel(u=u, eigenvalues=lam_opt, v=v_opt)
+
+        keys, deltas, _scores = queues[k_opt - 1].finalize()
+        table = OpenAddressingTable(initial_capacity=max(16, 2 * keys.shape[0]))
+        for key, delta in zip(keys, deltas):
+            table.put(int(key), float(delta))
+        bloom = None
+        if self.use_bloom and keys.shape[0] > 0:
+            bloom = BloomFilter(keys.shape[0], self.bloom_fpr)
+            bloom.update(int(key) for key in keys)
+
+        return SVDDModel(
+            svd=svd_model,
+            deltas=table,
+            bloom=bloom,
+            k_max=k_max,
+            candidate_errors=epsilon,
+        )
+
+
+class NaiveSVDDCompressor:
+    """The paper's Figure 4 reference: the straightforward, inefficient
+    construction the 3-pass algorithm replaces.
+
+    For each candidate ``k = 1 .. k_max`` it recomputes the SVD (two
+    passes), scans for every cell's error, picks the ``gamma_k`` largest
+    (a further pass), and finally refits at the best ``k`` — about
+    ``3 * k_max`` passes over the data versus Figure 5's three.  Kept as
+    an executable specification: the test suite asserts the fast
+    algorithm chooses the same ``k_opt`` and delta set, and the
+    construction-cost benchmark measures the pass-count gap.
+
+    Args mirror :class:`SVDDCompressor`.
+    """
+
+    def __init__(
+        self,
+        budget_fraction: float,
+        k_max: int | None = None,
+        eigensolver: SymmetricEigensolver | None = None,
+        bytes_per_value: int = space.BYTES_PER_VALUE,
+        use_bloom: bool = True,
+    ) -> None:
+        self._fast = SVDDCompressor(
+            budget_fraction=budget_fraction,
+            k_max=k_max,
+            eigensolver=eigensolver,
+            bytes_per_value=bytes_per_value,
+            use_bloom=use_bloom,
+        )
+
+    def fit(self, source: MatrixStore | np.ndarray) -> SVDDModel:
+        """Run the Figure 4 loop: one full SVD + error scan per candidate k."""
+        from repro.core.svd import SVDCompressor
+
+        num_rows, num_cols = source_shape(source)
+        k_max = self._fast._candidate_cutoffs(num_rows, num_cols)
+
+        best_epsilon = np.inf
+        best_k = 1
+        epsilons = np.empty(k_max)
+        for k in range(1, k_max + 1):
+            # "compute the SVD of the array with given k (two passes)"
+            model = SVDCompressor(
+                k=k, eigensolver=self._fast.eigensolver
+            ).fit(source)
+            # "find the errors for every cell ... pick the gamma_k largest
+            # ones (one more pass) and compute the error measure"
+            gamma = self._fast._gamma(num_rows, num_cols, model.cutoff)
+            queue = TopKBuffer(gamma)
+            sse = 0.0
+            row_base = 0
+            for block in _row_chunks(source):
+                recon = (block @ model.v) @ (model.v.T)
+                diff = block - recon
+                sse += float((diff * diff).sum())
+                keys = (
+                    (row_base + np.arange(block.shape[0]))[:, None] * num_cols
+                    + np.arange(num_cols)[None, :]
+                ).ravel()
+                flat = diff.ravel()
+                queue.offer(keys, flat, np.abs(flat))
+                row_base += block.shape[0]
+            epsilon = max(sse - queue.retained_score_sq_sum(), 0.0)
+            epsilons[k - 1] = epsilon
+            if epsilon < best_epsilon:
+                best_epsilon = epsilon
+                best_k = k
+
+        # Final refit at k_opt, rebuilding its delta set.
+        model = SVDCompressor(k=best_k, eigensolver=self._fast.eigensolver).fit(
+            source
+        )
+        gamma = self._fast._gamma(num_rows, num_cols, model.cutoff)
+        queue = TopKBuffer(gamma)
+        row_base = 0
+        for block in _row_chunks(source):
+            recon = (block @ model.v) @ model.v.T
+            diff = block - recon
+            keys = (
+                (row_base + np.arange(block.shape[0]))[:, None] * num_cols
+                + np.arange(num_cols)[None, :]
+            ).ravel()
+            flat = diff.ravel()
+            queue.offer(keys, flat, np.abs(flat))
+            row_base += block.shape[0]
+        keys, deltas, _scores = queue.finalize()
+        table = OpenAddressingTable(initial_capacity=max(16, 2 * keys.shape[0]))
+        for key, delta in zip(keys, deltas):
+            table.put(int(key), float(delta))
+        bloom = None
+        if self._fast.use_bloom and keys.shape[0] > 0:
+            bloom = BloomFilter(keys.shape[0], self._fast.bloom_fpr)
+            bloom.update(int(key) for key in keys)
+        return SVDDModel(
+            svd=model,
+            deltas=table,
+            bloom=bloom,
+            k_max=k_max,
+            candidate_errors=epsilons,
+        )

@@ -1,0 +1,90 @@
+"""Heterogeneous-vector dataset (the paper's Section 2.3 argument).
+
+'The SVD can be applied not only to time sequences, but to any
+arbitrary, even heterogeneous, M-dimensional vectors.  For example, a
+patient record could be a "vector" comprising elements age, weight,
+height, cholesterol level, etc.  In such a setting, the spectral
+methods do not apply.'
+
+This generator produces such records: per-patient vectors whose columns
+are *different physical quantities* with different units and scales,
+correlated through a few latent health factors (so the data is low-rank
+and SVD-compressible) but with **no column ordering semantics** — which
+is exactly why a frequency transform along the "time" axis is
+meaningless here.  The test suite demonstrates the paper's point
+directly: SVD's error is invariant to permuting the columns, DCT's is
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+#: Column layout of a patient record: (name, baseline, scale).
+PATIENT_FIELDS = (
+    ("age_years", 45.0, 15.0),
+    ("weight_kg", 75.0, 12.0),
+    ("height_cm", 170.0, 9.0),
+    ("bmi", 25.0, 3.5),
+    ("systolic_mmhg", 120.0, 12.0),
+    ("diastolic_mmhg", 80.0, 8.0),
+    ("heart_rate_bpm", 70.0, 9.0),
+    ("cholesterol_mgdl", 195.0, 30.0),
+    ("hdl_mgdl", 55.0, 12.0),
+    ("ldl_mgdl", 115.0, 25.0),
+    ("triglycerides_mgdl", 140.0, 45.0),
+    ("glucose_mgdl", 95.0, 14.0),
+    ("hba1c_pct", 5.5, 0.6),
+    ("creatinine_mgdl", 0.95, 0.2),
+    ("hemoglobin_gdl", 14.0, 1.3),
+    ("wbc_kul", 7.0, 1.8),
+)
+
+
+@dataclass(frozen=True)
+class PatientsConfig:
+    """Parameters of the synthetic patient-record dataset.
+
+    Attributes:
+        seed: master seed.
+        num_factors: latent health factors correlating the columns
+            (age/metabolic/cardiac style axes) — the source of low rank.
+    """
+
+    seed: int = 19970601
+    num_factors: int = 3
+
+
+def patient_field_names() -> list[str]:
+    """Column names, in stored order."""
+    return [name for name, _b, _s in PATIENT_FIELDS]
+
+
+def patients_matrix(
+    num_rows: int, config: PatientsConfig | None = None
+) -> np.ndarray:
+    """An ``num_rows x 16`` matrix of heterogeneous patient records.
+
+    Prefix-stable in ``num_rows`` like the other generators.
+    """
+    if num_rows < 1:
+        raise DatasetError(f"num_rows must be >= 1, got {num_rows}")
+    config = config or PatientsConfig()
+    num_cols = len(PATIENT_FIELDS)
+    # Shared loading matrix: how each latent factor expresses per column.
+    loading_rng = np.random.default_rng([config.seed, 3])
+    loadings = loading_rng.standard_normal((config.num_factors, num_cols))
+    baselines = np.array([b for _n, b, _s in PATIENT_FIELDS])
+    scales = np.array([s for _n, _b, s in PATIENT_FIELDS])
+
+    out = np.empty((num_rows, num_cols))
+    for i in range(num_rows):
+        rng = np.random.default_rng([config.seed, 17, i])
+        factors = rng.standard_normal(config.num_factors)
+        standardized = factors @ loadings + 0.3 * rng.standard_normal(num_cols)
+        out[i] = baselines + scales * standardized
+    return out

@@ -1,0 +1,112 @@
+"""Named dataset registry.
+
+Maps the paper's dataset names (``phone1000``, ``phone2000``, ...,
+``phone100K``, ``stocks``, plus the Table 1 ``toy``) to generated
+matrices, with memoization so benchmark sweeps that reuse a dataset pay
+generation cost once per process.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.patients import PatientsConfig, patients_matrix
+from repro.data.phone import PhoneConfig, phone_matrix
+from repro.data.stocks import StocksConfig, stocks_matrix
+from repro.data.toy import toy_matrix
+from repro.exceptions import DatasetError
+
+_PHONE_PATTERN = re.compile(r"^phone(\d+)(k)?$", re.IGNORECASE)
+_PATIENTS_PATTERN = re.compile(r"^patients(\d+)(k)?$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named matrix with provenance metadata."""
+
+    name: str
+    matrix: np.ndarray = field(repr=False)
+    description: str
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return tuple(self.matrix.shape)
+
+
+_CACHE: dict[str, Dataset] = {}
+
+
+def dataset_names() -> list[str]:
+    """Representative names accepted by :func:`load_dataset`."""
+    return [
+        "toy",
+        "stocks",
+        "phone1000",
+        "phone2000",
+        "phone5000",
+        "phone100K",
+        "patients1000",
+    ]
+
+
+def load_dataset(name: str) -> Dataset:
+    """Resolve a dataset by name.
+
+    Accepted names:
+
+    - ``toy`` — the Table 1 matrix;
+    - ``stocks`` — synthetic 381 x 128 stock prices;
+    - ``phone<N>`` or ``phone<N>k`` — synthetic phone data with N (or
+      N*1000) customers and 366 days, e.g. ``phone2000``, ``phone100k``;
+    - ``patients<N>[k]`` — heterogeneous 16-field patient records
+      (Section 2.3's arbitrary-vector setting).
+    """
+    key = name.strip()
+    cached = _CACHE.get(key.lower())
+    if cached is not None:
+        return cached
+
+    lowered = key.lower()
+    if lowered == "toy":
+        dataset = Dataset("toy", toy_matrix(), "paper Table 1 customer-day matrix")
+    elif lowered == "stocks":
+        dataset = Dataset(
+            "stocks",
+            stocks_matrix(381, StocksConfig()),
+            "synthetic stocks: 381 x 128 correlated random-walk closing prices",
+        )
+    elif _PATIENTS_PATTERN.match(lowered):
+        match = _PATIENTS_PATTERN.match(lowered)
+        rows = int(match.group(1)) * (1000 if match.group(2) else 1)
+        if rows < 1:
+            raise DatasetError(f"patients dataset must have >= 1 row, got {rows}")
+        dataset = Dataset(
+            f"patients{rows}",
+            patients_matrix(rows, PatientsConfig()),
+            f"synthetic heterogeneous patient records: {rows} x 16",
+        )
+    else:
+        match = _PHONE_PATTERN.match(lowered)
+        if not match:
+            raise DatasetError(
+                f"unknown dataset {name!r}; expected 'toy', 'stocks', "
+                f"'phone<N>[k]', or 'patients<N>[k]'"
+            )
+        rows = int(match.group(1)) * (1000 if match.group(2) else 1)
+        if rows < 1:
+            raise DatasetError(f"phone dataset must have >= 1 row, got {rows}")
+        dataset = Dataset(
+            f"phone{rows}",
+            phone_matrix(rows, PhoneConfig()),
+            f"synthetic AT&T-like calling volumes: {rows} x 366",
+        )
+    _CACHE[lowered] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop memoized datasets (tests use this to bound memory)."""
+    _CACHE.clear()

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  More specific
+subclasses are grouped by subsystem (storage, numerics, queries, data)
+so that tests and applications can discriminate failure modes without
+string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A matrix or vector had an incompatible or degenerate shape."""
+
+
+class ConvergenceError(ReproError, ArithmeticError):
+    """An iterative numerical routine failed to converge."""
+
+
+class StorageError(ReproError, IOError):
+    """Base class for errors from the paged storage subsystem."""
+
+
+class PageError(StorageError):
+    """A page id was out of range or a page was malformed."""
+
+
+class StoreClosedError(StorageError):
+    """An operation was attempted on a closed store."""
+
+
+class ChecksumError(StorageError):
+    """A page or file failed checksum validation when read back."""
+
+
+class FormatError(StorageError):
+    """A file on disk did not match the expected binary format."""
+
+
+class BudgetError(ConfigurationError):
+    """A space budget was too small to hold even a minimal model."""
+
+
+class QueryError(ReproError, ValueError):
+    """A query referenced cells outside the matrix or was malformed."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset could not be generated or loaded as requested."""

@@ -1,0 +1,41 @@
+"""Error measures used throughout the paper's evaluation.
+
+- :func:`rmspe` — Definition 5.1: root-mean-squared reconstruction
+  error normalized by the standard deviation of the data around its
+  global mean cell value;
+- :func:`worst_case_error` — the per-cell maximum absolute error, raw
+  and normalized (Table 3, Table 4, Figure 7);
+- :func:`error_distribution` — per-cell absolute errors rank-ordered
+  descending (Figure 8);
+- :func:`query_error` — the relative aggregate-query error Q_err of
+  Eq. 14 (Figure 9);
+- :func:`median_error` and :func:`error_percentiles` — the Section 5.1
+  observation that median error is orders of magnitude below the mean.
+"""
+
+from repro.metrics.errors import (
+    ErrorSummary,
+    error_percentiles,
+    error_summary,
+    median_error,
+    query_error,
+    rmspe,
+    worst_case_error,
+)
+from repro.metrics.distribution import error_distribution, StreamingErrorAccumulator
+from repro.metrics.profiles import ErrorProfile, delta_coverage, error_profile
+
+__all__ = [
+    "ErrorProfile",
+    "ErrorSummary",
+    "delta_coverage",
+    "error_profile",
+    "StreamingErrorAccumulator",
+    "error_distribution",
+    "error_percentiles",
+    "error_summary",
+    "median_error",
+    "query_error",
+    "rmspe",
+    "worst_case_error",
+]

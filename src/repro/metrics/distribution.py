@@ -1,0 +1,105 @@
+"""Per-cell error distributions (paper Figure 8).
+
+Figure 8 rank-orders cells by reconstruction error and plots the
+absolute error on a log scale, revealing the steep initial drop that
+motivates SVDD: only a few cells suffer anywhere near the worst-case
+error, so recording just those as deltas bounds the maximum cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def error_distribution(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    top: int | None = None,
+) -> np.ndarray:
+    """Absolute cell errors sorted descending (optionally the first ``top``).
+
+    The paper plots the first 50,000 cells of ``phone2000``; pass
+    ``top=50_000`` to reproduce that view.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ShapeError(f"shape mismatch {a.shape} vs {b.shape}")
+    errors = np.sort(np.abs(b - a).ravel())[::-1]
+    if top is not None:
+        if top < 1:
+            raise ConfigurationError(f"top must be >= 1, got {top}")
+        errors = errors[:top]
+    return errors
+
+
+class StreamingErrorAccumulator:
+    """Accumulate squared-error statistics row by row.
+
+    The out-of-core algorithms never hold ``X`` and ``X_hat`` in memory
+    at once; this accumulator lets them compute RMSPE and worst-case
+    error during a single streamed pass.  The normalization constant
+    (variance around the global mean) is accumulated simultaneously via
+    running sums, so one pass suffices.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._err_sq = 0.0
+        self._max_abs = 0.0
+
+    def add_row(self, original_row: np.ndarray, reconstructed_row: np.ndarray) -> None:
+        """Fold one row pair into the running statistics."""
+        a = np.asarray(original_row, dtype=np.float64)
+        b = np.asarray(reconstructed_row, dtype=np.float64)
+        if a.shape != b.shape:
+            raise ShapeError(f"row shape mismatch {a.shape} vs {b.shape}")
+        diff = b - a
+        self._count += a.size
+        self._sum += float(a.sum())
+        self._sum_sq += float((a * a).sum())
+        self._err_sq += float((diff * diff).sum())
+        self._max_abs = max(self._max_abs, float(np.abs(diff).max(initial=0.0)))
+
+    @property
+    def count(self) -> int:
+        """Cells accumulated so far."""
+        return self._count
+
+    @property
+    def sum_squared_error(self) -> float:
+        """Total squared reconstruction error (the epsilon_k of Fig. 5)."""
+        return self._err_sq
+
+    def data_variance_sum(self) -> float:
+        """``sum (x - mean)^2`` over all accumulated cells."""
+        if self._count == 0:
+            return 0.0
+        mean = self._sum / self._count
+        return self._sum_sq - self._count * mean * mean
+
+    def rmspe(self) -> float:
+        """Definition 5.1 over the accumulated cells."""
+        denom = self.data_variance_sum()
+        if self._count == 0:
+            raise ShapeError("no rows accumulated")
+        if denom <= 0.0:
+            return 0.0 if self._err_sq == 0.0 else float("inf")
+        return float(np.sqrt(self._err_sq / denom))
+
+    def max_abs_error(self) -> float:
+        """Largest absolute cell error seen."""
+        return self._max_abs
+
+    def max_normalized_error(self) -> float:
+        """Worst-case error divided by the data standard deviation."""
+        if self._count == 0:
+            raise ShapeError("no rows accumulated")
+        variance = self.data_variance_sum() / self._count
+        if variance <= 0.0:
+            return 0.0 if self._max_abs == 0.0 else float("inf")
+        return self._max_abs / float(np.sqrt(variance))

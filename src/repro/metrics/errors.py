@@ -1,0 +1,124 @@
+"""Scalar error measures (paper Section 5, Definitions 5.1 and Eq. 14)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def _check_same_shape(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ShapeError(
+            f"original shape {a.shape} != reconstructed shape {b.shape}"
+        )
+    if a.size == 0:
+        raise ShapeError("error measures require non-empty inputs")
+    return a, b
+
+
+def data_std(original: np.ndarray) -> float:
+    """Standard deviation of the cell values around the global mean.
+
+    This is the paper's normalization constant: 'we have chosen to
+    subtract out the mean, thereby computing the standard deviation
+    rather than signal strength in the denominator' (Section 5).
+    """
+    arr = np.asarray(original, dtype=np.float64)
+    return float(np.sqrt(np.mean((arr - arr.mean()) ** 2)))
+
+
+def rmspe(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean square percent error (Definition 5.1).
+
+    ``sqrt(sum (x_hat - x)^2) / sqrt(sum (x - mean)^2)`` — equivalently
+    the RMS reconstruction error divided by the data's standard
+    deviation.  Returned as a fraction (0.02 == '2%').
+    """
+    a, b = _check_same_shape(original, reconstructed)
+    denom = np.sqrt(np.sum((a - a.mean()) ** 2))
+    if denom == 0.0:
+        # A constant matrix: any nonzero error is infinitely bad relative
+        # to zero variance; a perfect reconstruction is error zero.
+        return 0.0 if np.allclose(a, b) else float("inf")
+    return float(np.sqrt(np.sum((b - a) ** 2)) / denom)
+
+
+def worst_case_error(
+    original: np.ndarray, reconstructed: np.ndarray
+) -> tuple[float, float]:
+    """Maximum per-cell absolute error, raw and normalized.
+
+    Returns ``(max_abs, max_abs / std)`` — the two columns of the
+    paper's Table 3 ('Abs Error' and 'Normalized').
+    """
+    a, b = _check_same_shape(original, reconstructed)
+    max_abs = float(np.abs(b - a).max())
+    std = data_std(a)
+    normalized = max_abs / std if std > 0 else (0.0 if max_abs == 0 else float("inf"))
+    return max_abs, normalized
+
+
+def median_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Median per-cell absolute error (Section 5.1's closing observation)."""
+    a, b = _check_same_shape(original, reconstructed)
+    return float(np.median(np.abs(b - a)))
+
+
+def error_percentiles(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    percentiles: tuple[float, ...] = (50.0, 90.0, 99.0, 99.9, 100.0),
+) -> dict[float, float]:
+    """Absolute-error percentiles, for characterizing the Fig. 8 tail."""
+    a, b = _check_same_shape(original, reconstructed)
+    errors = np.abs(b - a).ravel()
+    values = np.percentile(errors, percentiles)
+    return {p: float(v) for p, v in zip(percentiles, values)}
+
+
+def query_error(exact: float, approximate: float) -> float:
+    """Normalized aggregate-query error Q_err (paper Eq. 14).
+
+    ``|f(X) - f(X_hat)| / |f(X)|``.  When the exact answer is zero the
+    error is 0 for an exact match and infinity otherwise (the relative
+    error is undefined at zero).
+    """
+    if exact == 0.0:
+        return 0.0 if approximate == 0.0 else float("inf")
+    return abs(exact - approximate) / abs(exact)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """All the paper's scalar error measures for one reconstruction."""
+
+    rmspe: float
+    max_abs_error: float
+    max_normalized_error: float
+    median_abs_error: float
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict form for tabular benchmark output."""
+        return {
+            "rmspe": self.rmspe,
+            "max_abs_error": self.max_abs_error,
+            "max_normalized_error": self.max_normalized_error,
+            "median_abs_error": self.median_abs_error,
+        }
+
+
+def error_summary(original: np.ndarray, reconstructed: np.ndarray) -> ErrorSummary:
+    """Compute the full :class:`ErrorSummary` in one pass over the arrays."""
+    a, b = _check_same_shape(original, reconstructed)
+    max_abs, max_norm = worst_case_error(a, b)
+    return ErrorSummary(
+        rmspe=rmspe(a, b),
+        max_abs_error=max_abs,
+        max_normalized_error=max_norm,
+        median_abs_error=median_error(a, b),
+    )

@@ -1,0 +1,89 @@
+"""Per-row and per-column error profiles.
+
+Beyond scalar error measures, an analyst tuning a compressed warehouse
+wants to know *where* the approximation is weak: which customers (rows)
+and which days (columns) reconstruct worst, and whether the stored
+deltas actually land on the worst rows.  These profiles feed directly
+into decisions like raising the budget, flagging customers for exact
+storage, or switching to the robust axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Per-axis RMS error profile of one reconstruction.
+
+    Attributes:
+        row_rms: per-row RMS absolute error, shape (N,).
+        col_rms: per-column RMS absolute error, shape (M,).
+    """
+
+    row_rms: np.ndarray
+    col_rms: np.ndarray
+
+    def worst_rows(self, count: int = 10) -> np.ndarray:
+        """Indices of the worst-approximated rows, worst first."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return np.argsort(self.row_rms)[::-1][:count]
+
+    def worst_columns(self, count: int = 10) -> np.ndarray:
+        """Indices of the worst-approximated columns, worst first."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return np.argsort(self.col_rms)[::-1][:count]
+
+    def row_concentration(self, top_fraction: float = 0.01) -> float:
+        """Share of total squared error carried by the worst rows.
+
+        High concentration (a few rows carry most of the error) is the
+        signature of outlier customers — the case where SVDD's deltas
+        or the robust axes pay off.
+        """
+        if not 0.0 < top_fraction <= 1.0:
+            raise ConfigurationError(
+                f"top_fraction must be in (0, 1], got {top_fraction}"
+            )
+        squared = self.row_rms**2
+        total = float(squared.sum())
+        if total == 0.0:
+            return 0.0
+        count = max(1, int(round(top_fraction * squared.shape[0])))
+        worst = np.sort(squared)[::-1][:count]
+        return float(worst.sum()) / total
+
+
+def error_profile(original: np.ndarray, reconstructed: np.ndarray) -> ErrorProfile:
+    """Compute per-row and per-column RMS errors."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ShapeError(f"need equal 2-d shapes, got {a.shape} vs {b.shape}")
+    squared = (b - a) ** 2
+    return ErrorProfile(
+        row_rms=np.sqrt(squared.mean(axis=1)),
+        col_rms=np.sqrt(squared.mean(axis=0)),
+    )
+
+
+def delta_coverage(model, profile: ErrorProfile, count: int = 20) -> float:
+    """Fraction of the ``count`` worst rows that hold at least one delta.
+
+    A diagnostic for SVDD models: if the worst-approximated rows hold
+    no deltas, the budget split is off (or the model was built against
+    different data).
+    """
+    outliers = getattr(model, "outlier_cells", None)
+    if outliers is None:
+        return 0.0
+    delta_rows = {row for row, _col, _delta in model.outlier_cells()}
+    worst = profile.worst_rows(count)
+    return sum(1 for row in worst if int(row) in delta_rows) / worst.shape[0]

@@ -1,0 +1,59 @@
+"""Ad hoc query engine.
+
+The paper studies two query classes (Section 1, Section 5):
+
+- **cell queries** — 'what was the amount of sales to GHI Inc. on
+  July 11, 1996?';
+- **aggregate queries** — an aggregate function over selected rows and
+  columns: 'total sales to business customers for the week ending
+  July 12'.
+
+:class:`QueryEngine` executes both against any backend that can produce
+cells/rows — the raw :class:`~repro.storage.matrix_store.MatrixStore`,
+an in-memory matrix, a fitted model, or the persistent
+:class:`~repro.core.store.CompressedMatrix` — so exact and approximate
+answers are obtained through the same code path and can be compared
+with :func:`~repro.metrics.query_error`.
+
+:class:`UniformSamplingEstimator` is the sampling baseline of
+Section 5.2 ('simple uniform sampling performed poorly compared with
+SVDD for aggregate queries').
+"""
+
+from repro.query.calendar import month_columns, week_columns, weekday_columns, weekend_columns
+from repro.query.engine import CellQuery, AggregateQuery, QueryEngine, QueryResult
+from repro.query.groupby import column_totals, row_totals, top_rows
+from repro.query.parser import format_query, parse_query
+from repro.query.sampling import UniformSamplingEstimator
+from repro.query.selection import Selection
+from repro.query.similarity import (
+    distance_distortion,
+    factor_distances,
+    similar_rows,
+    similar_to_vector,
+)
+from repro.query.workload import random_aggregate_queries, random_cell_queries
+
+__all__ = [
+    "AggregateQuery",
+    "column_totals",
+    "row_totals",
+    "top_rows",
+    "format_query",
+    "parse_query",
+    "month_columns",
+    "week_columns",
+    "weekday_columns",
+    "weekend_columns",
+    "distance_distortion",
+    "factor_distances",
+    "similar_rows",
+    "similar_to_vector",
+    "CellQuery",
+    "QueryEngine",
+    "QueryResult",
+    "Selection",
+    "UniformSamplingEstimator",
+    "random_aggregate_queries",
+    "random_cell_queries",
+]

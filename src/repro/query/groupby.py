@@ -1,0 +1,104 @@
+"""Grouped aggregates: one result per customer or per day.
+
+The decision-support queries the paper motivates often group rather
+than collapse: 'total volume per day across all customers' (a column
+profile) or 'total volume per customer over a period' (a row profile).
+Both have factor-space evaluations on an SVD/SVDD model:
+
+- per-row sums over column set S:   ``(U * lambda) @ (sum_{j in S} v_j)``
+  — O(N * k);
+- per-column sums over row set R:   ``(sum_{i in R} u_i * lambda) @ V^t``
+  — O(M * k);
+
+plus an O(num_deltas) correction pass.  Against non-factor backends the
+same API streams rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.query.engine import _Backend
+from repro.query.fastpath import _deltas_of, _unwrap
+from repro.query.selection import Selection
+
+
+def _resolve(backend_shape, selection: Selection):
+    return selection.resolve(backend_shape)
+
+
+def row_totals(backend, selection: Selection | None = None) -> np.ndarray:
+    """Per-selected-row sums over the selected columns.
+
+    Returns one value per selected row, ordered by row index.  Uses the
+    factor-space path on SVD/SVDD backends, row streaming otherwise.
+    """
+    adapter = _Backend(backend)
+    selection = selection or Selection()
+    row_idx, col_idx = _resolve(adapter.shape, selection)
+
+    svd = _unwrap(backend)
+    if svd is not None:
+        scaled_u = svd.u[row_idx] * svd.eigenvalues
+        totals = scaled_u @ svd.v[col_idx].sum(axis=0)
+        deltas = _deltas_of(backend)
+        if deltas is not None and len(deltas) > 0:
+            cols = svd.num_cols
+            positions = {int(row): pos for pos, row in enumerate(row_idx)}
+            col_set = set(int(col) for col in col_idx)
+            for key, delta in deltas.items():
+                row, col = key // cols, key % cols
+                if row in positions and col in col_set:
+                    totals[positions[row]] += delta
+        return totals
+
+    return np.array(
+        [float(adapter.row(int(index))[col_idx].sum()) for index in row_idx]
+    )
+
+
+def column_totals(backend, selection: Selection | None = None) -> np.ndarray:
+    """Per-selected-column sums over the selected rows.
+
+    Returns one value per selected column, ordered by column index.
+    """
+    adapter = _Backend(backend)
+    selection = selection or Selection()
+    row_idx, col_idx = _resolve(adapter.shape, selection)
+
+    svd = _unwrap(backend)
+    if svd is not None:
+        summed_u = (svd.u[row_idx] * svd.eigenvalues).sum(axis=0)
+        totals = svd.v[col_idx] @ summed_u
+        deltas = _deltas_of(backend)
+        if deltas is not None and len(deltas) > 0:
+            cols = svd.num_cols
+            row_set = set(int(row) for row in row_idx)
+            positions = {int(col): pos for pos, col in enumerate(col_idx)}
+            for key, delta in deltas.items():
+                row, col = key // cols, key % cols
+                if row in row_set and col in positions:
+                    totals[positions[col]] += delta
+        return totals
+
+    totals = np.zeros(col_idx.size)
+    for index in row_idx:
+        totals += adapter.row(int(index))[col_idx]
+    return totals
+
+
+def top_rows(backend, count: int, selection: Selection | None = None) -> np.ndarray:
+    """Indices of the ``count`` largest rows by total over the selection.
+
+    The paper's marketing-analyst question: 'who are our biggest
+    customers?'  Evaluated in factor space when possible.
+    """
+    if count < 1:
+        raise QueryError(f"count must be >= 1, got {count}")
+    adapter = _Backend(backend)
+    selection = selection or Selection()
+    row_idx, _ = _resolve(adapter.shape, selection)
+    totals = row_totals(backend, selection)
+    order = np.argsort(totals)[::-1][:count]
+    return row_idx[order]

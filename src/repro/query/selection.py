@@ -1,0 +1,94 @@
+"""Row/column selections for aggregate queries.
+
+A :class:`Selection` names a set of rows and a set of columns; the
+query's cell set is their cross product (the paper's 'some rows and
+columns of the data matrix', Section 5.2).  Selections are normalized
+to sorted unique index arrays at construction and validate themselves
+against a matrix shape at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+
+def _normalize(indices: Iterable[int] | slice | None, extent: int | None) -> np.ndarray | None:
+    """Sorted unique int64 array, or None for 'all' when extent unknown."""
+    if indices is None:
+        if extent is None:
+            return None
+        return np.arange(extent, dtype=np.int64)
+    if isinstance(indices, slice):
+        if extent is None:
+            raise QueryError("slice selections need a known extent")
+        return np.arange(extent, dtype=np.int64)[indices]
+    arr = np.unique(np.asarray(list(indices), dtype=np.int64))
+    if arr.size == 0:
+        raise QueryError("selection must include at least one index")
+    return arr
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A rectangle of cells: selected rows x selected columns.
+
+    ``rows`` / ``cols`` may be iterables of indices, slices, or None for
+    'all rows' / 'all columns'.
+    """
+
+    rows: object = None
+    cols: object = None
+
+    def resolve(self, shape: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """Concrete sorted index arrays for a matrix of ``shape``.
+
+        Raises :class:`QueryError` for out-of-range indices.
+        """
+        num_rows, num_cols = shape
+        rows = _normalize(self.rows, num_rows)
+        cols = _normalize(self.cols, num_cols)
+        if rows[0] < 0 or rows[-1] >= num_rows:
+            raise QueryError(
+                f"row selection [{rows[0]}, {rows[-1]}] outside [0, {num_rows})"
+            )
+        if cols[0] < 0 or cols[-1] >= num_cols:
+            raise QueryError(
+                f"column selection [{cols[0]}, {cols[-1]}] outside [0, {num_cols})"
+            )
+        return rows, cols
+
+    def cell_count(self, shape: tuple[int, int]) -> int:
+        """Number of cells the selection covers on a matrix of ``shape``."""
+        rows, cols = self.resolve(shape)
+        return int(rows.size * cols.size)
+
+    @staticmethod
+    def random(
+        shape: tuple[int, int],
+        target_fraction: float,
+        rng: np.random.Generator,
+    ) -> "Selection":
+        """A random selection covering about ``target_fraction`` of cells.
+
+        Mirrors the paper's Fig. 9 workload: 'the number of rows and
+        columns selected was tuned so that approximately 10% of the data
+        cells would be included'.  Rows and columns each get about
+        ``sqrt(target_fraction)`` of their extent so the product lands
+        near the target.
+        """
+        if not 0.0 < target_fraction <= 1.0:
+            raise QueryError(
+                f"target_fraction must be in (0, 1], got {target_fraction}"
+            )
+        num_rows, num_cols = shape
+        side = float(np.sqrt(target_fraction))
+        pick_rows = max(1, int(round(side * num_rows)))
+        pick_cols = max(1, int(round(side * num_cols)))
+        rows = rng.choice(num_rows, size=min(pick_rows, num_rows), replace=False)
+        cols = rng.choice(num_cols, size=min(pick_cols, num_cols), replace=False)
+        return Selection(rows=rows.tolist(), cols=cols.tolist())

@@ -1,0 +1,36 @@
+"""Paged storage engine.
+
+The paper's performance claims are stated in disk accesses: plain SVD
+reconstructs any cell with *one* disk access (the row of ``U``), with
+``V`` and the eigenvalues pinned in main memory (Section 4.1), and the
+construction algorithms are measured in *passes* over the on-disk data
+matrix.  To make those claims measurable rather than assumed, this
+package provides a small storage engine:
+
+- :class:`FilePager` — fixed-size page I/O over a file, counting
+  physical reads and writes;
+- :class:`BufferPool` — LRU page cache with hit/miss statistics and
+  pinning (for the in-memory ``V``/``Lambda`` of the paper);
+- :class:`MatrixStore` — an on-disk row-major float64 matrix with
+  streamed row iteration (a 'pass') and random row access through the
+  buffer pool;
+- :class:`DeltaFile` — the serialized form of the SVDD outlier table.
+"""
+
+from repro.storage.buffer_pool import BufferPool, PoolStats
+from repro.storage.csv_io import matrix_store_from_csv, matrix_store_to_csv
+from repro.storage.delta_file import DeltaFile
+from repro.storage.matrix_store import MatrixStore
+from repro.storage.pager import FilePager, IOStats, PAGE_SIZE_DEFAULT
+
+__all__ = [
+    "BufferPool",
+    "matrix_store_from_csv",
+    "matrix_store_to_csv",
+    "DeltaFile",
+    "FilePager",
+    "IOStats",
+    "MatrixStore",
+    "PAGE_SIZE_DEFAULT",
+    "PoolStats",
+]

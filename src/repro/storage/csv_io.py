@@ -1,0 +1,99 @@
+"""CSV import/export for the matrix store.
+
+The adoption path for real warehouses: data usually arrives as
+delimited text, one customer per line.  Both directions stream — the
+matrix never has to fit in memory.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.storage.matrix_store import MatrixStore
+from repro.storage.pager import PAGE_SIZE_DEFAULT
+
+
+def _rows_from_csv(
+    path: str | os.PathLike,
+    delimiter: str,
+    skip_header: bool,
+    expected_cols: list[int],
+) -> Iterator[np.ndarray]:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for line_no, record in enumerate(reader, start=1):
+            if skip_header and line_no == 1:
+                continue
+            if not record:
+                continue
+            try:
+                row = np.array([float(field) for field in record])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_no}: non-numeric field ({exc})"
+                ) from exc
+            if not expected_cols:
+                expected_cols.append(row.shape[0])
+            elif row.shape[0] != expected_cols[0]:
+                raise DatasetError(
+                    f"{path}:{line_no}: expected {expected_cols[0]} fields, "
+                    f"got {row.shape[0]}"
+                )
+            yield row
+
+
+def matrix_store_from_csv(
+    csv_path: str | os.PathLike,
+    store_path: str | os.PathLike,
+    delimiter: str = ",",
+    skip_header: bool = False,
+    page_size: int = PAGE_SIZE_DEFAULT,
+) -> MatrixStore:
+    """Stream a CSV of numeric rows into a new :class:`MatrixStore`.
+
+    All rows must have the same number of fields; a ragged or
+    non-numeric line raises :class:`DatasetError` naming the line.
+    """
+    expected_cols: list[int] = []
+    rows = _rows_from_csv(csv_path, delimiter, skip_header, expected_cols)
+    # Peek the first row to learn the width, then chain it back on.
+    try:
+        first = next(rows)
+    except StopIteration:
+        raise DatasetError(f"{csv_path}: no data rows") from None
+
+    def chained() -> Iterator[np.ndarray]:
+        yield first
+        yield from rows
+
+    return MatrixStore.create_from_rows(
+        store_path, chained(), num_cols=first.shape[0], page_size=page_size
+    )
+
+
+def matrix_store_to_csv(
+    store: MatrixStore,
+    csv_path: str | os.PathLike,
+    delimiter: str = ",",
+    header: list[str] | None = None,
+    fmt: str = "%.12g",
+) -> int:
+    """Stream a store out to CSV; returns the number of data rows written."""
+    if header is not None and len(header) != store.num_cols:
+        raise DatasetError(
+            f"header has {len(header)} names for {store.num_cols} columns"
+        )
+    count = 0
+    with open(csv_path, "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if header is not None:
+            writer.writerow(header)
+        for _index, row in store.iter_rows():
+            writer.writerow([fmt % value for value in row])
+            count += 1
+    return count

@@ -1,0 +1,77 @@
+"""Serialized form of the SVDD outlier-delta table.
+
+The deltas are the part of the SVDD model that lives beside ``U`` on
+disk: a flat file of ``(cell_key, delta)`` records plus a CRC-guarded
+header.  On open, the records are loaded into the in-memory
+:class:`~repro.structures.hashtable.OpenAddressingTable` (the paper
+keeps the table — or at least its Bloom-filter front — in main memory;
+the on-disk form exists so the model survives restarts and so its size
+can be charged against the storage budget).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ChecksumError, FormatError
+from repro.structures.hashtable import OpenAddressingTable
+
+_MAGIC = b"RPRDLT01"
+_HEADER_FMT = "<8sQI"  # magic, record count, crc of records
+_RECORD_FMT = "<qd"  # cell key (row*M+col), delta
+_RECORD_SIZE = struct.calcsize(_RECORD_FMT)
+
+
+class DeltaFile:
+    """Reader/writer for the on-disk delta table."""
+
+    @staticmethod
+    def write(path: str | os.PathLike, deltas: Iterable[tuple[int, float]]) -> int:
+        """Serialize ``(key, delta)`` pairs to ``path``; returns record count.
+
+        Records are written sorted by key so files are canonical: two
+        models with the same outlier set produce byte-identical files.
+        """
+        records = sorted(deltas)
+        body = b"".join(struct.pack(_RECORD_FMT, key, delta) for key, delta in records)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        header = struct.pack(_HEADER_FMT, _MAGIC, len(records), crc)
+        with open(path, "wb") as fh:
+            fh.write(header)
+            fh.write(body)
+        return len(records)
+
+    @staticmethod
+    def read(path: str | os.PathLike) -> OpenAddressingTable:
+        """Load a delta file into an open-addressing table."""
+        raw = Path(path).read_bytes()
+        header_size = struct.calcsize(_HEADER_FMT)
+        if len(raw) < header_size:
+            raise FormatError(f"{path}: truncated delta file")
+        magic, count, crc = struct.unpack_from(_HEADER_FMT, raw)
+        if magic != _MAGIC:
+            raise FormatError(f"{path}: bad magic {magic!r}")
+        body = raw[header_size : header_size + count * _RECORD_SIZE]
+        if len(body) != count * _RECORD_SIZE:
+            raise FormatError(
+                f"{path}: expected {count} records, file holds {len(body) // _RECORD_SIZE}"
+            )
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            raise ChecksumError(f"{path}: delta records failed checksum")
+        table = OpenAddressingTable(initial_capacity=max(16, count * 2))
+        if count:
+            keys = np.frombuffer(body, dtype=np.dtype([("k", "<i8"), ("d", "<f8")]))
+            for key, delta in zip(keys["k"], keys["d"]):
+                table.put(int(key), float(delta))
+        return table
+
+    @staticmethod
+    def size_bytes(record_count: int) -> int:
+        """On-disk size of a delta file with ``record_count`` records."""
+        return struct.calcsize(_HEADER_FMT) + record_count * _RECORD_SIZE

@@ -1,0 +1,345 @@
+"""On-disk row-major matrix store.
+
+This is the reproduction's stand-in for the paper's "huge data matrix
+on disk": an ``N x M`` float64 matrix stored row-major in a paged file.
+It supports exactly the two access patterns the paper's algorithms
+need —
+
+- **streamed passes** (:meth:`MatrixStore.iter_rows`): sequential,
+  row-at-a-time reads used by the one-pass Gram computation (Figure 2),
+  the error pass of SVDD (Figure 5), and the U-emitting pass
+  (Figure 3).  Completed full scans are counted in :attr:`pass_count`,
+  so tests can assert the '2-pass' and '3-pass' claims literally;
+- **random row / cell access** (:meth:`MatrixStore.row`,
+  :meth:`MatrixStore.cell`) through an LRU :class:`BufferPool`, used
+  when the uncompressed store itself serves queries (the baseline the
+  compressed stores are compared to).
+
+File layout: one header page (magic, version, shape, page size, CRC of
+the header fields) followed by the row-major float64 data region
+starting at the second page.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import (
+    ChecksumError,
+    ConfigurationError,
+    FormatError,
+    QueryError,
+    ShapeError,
+)
+from repro.storage.buffer_pool import BufferPool, read_span
+from repro.storage.pager import PAGE_SIZE_DEFAULT, FilePager
+
+_MAGIC = b"RPRMTX02"
+_HEADER_FMT = "<8sQQIBI"  # magic, rows, cols, page_size, dtype code, crc32
+_STREAM_CHUNK_ROWS = 256
+
+#: Storable element types: code <-> numpy dtype.  float32 halves the
+#: per-number cost 'b', letting the same budget hold twice the model.
+_DTYPE_CODES = {0: np.dtype(np.float64), 1: np.dtype(np.float32)}
+_CODES_BY_DTYPE = {dtype: code for code, dtype in _DTYPE_CODES.items()}
+
+
+class MatrixStore:
+    """A paged, read-optimized float64 matrix on disk.
+
+    Instances are created with :meth:`create` (from an in-memory array)
+    or :meth:`create_from_rows` (from a row stream, never materializing
+    the matrix), then opened with :meth:`open`.
+    """
+
+    def __init__(
+        self,
+        pager: FilePager,
+        rows: int,
+        cols: int,
+        pool_capacity: int,
+        dtype: np.dtype = np.dtype(np.float64),
+    ) -> None:
+        self._pager = pager
+        self._rows = rows
+        self._cols = cols
+        self._dtype = np.dtype(dtype)
+        self._item = self._dtype.itemsize
+        self._pool = BufferPool(pager, capacity=pool_capacity)
+        self._data_offset = pager.page_size
+        self._pass_count = 0
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def _pack_header(rows: int, cols: int, page_size: int, dtype_code: int) -> bytes:
+        body = struct.pack("<8sQQIB", _MAGIC, rows, cols, page_size, dtype_code)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return struct.pack(
+            _HEADER_FMT, _MAGIC, rows, cols, page_size, dtype_code, crc
+        )
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        matrix: np.ndarray,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        pool_capacity: int = 64,
+        dtype=np.float64,
+    ) -> "MatrixStore":
+        """Write ``matrix`` to ``path`` and return an open store over it."""
+        arr = np.ascontiguousarray(np.asarray(matrix, dtype=np.float64))
+        if arr.ndim != 2 or arr.size == 0:
+            raise ShapeError(f"matrix must be 2-d and non-empty, got shape {arr.shape}")
+        return cls.create_from_rows(
+            path,
+            (arr[i] for i in range(arr.shape[0])),
+            num_cols=arr.shape[1],
+            page_size=page_size,
+            pool_capacity=pool_capacity,
+            dtype=dtype,
+        )
+
+    @classmethod
+    def create_from_rows(
+        cls,
+        path: str | os.PathLike,
+        rows: Iterable[np.ndarray],
+        num_cols: int,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        pool_capacity: int = 64,
+        dtype=np.float64,
+    ) -> "MatrixStore":
+        """Stream rows to ``path`` without holding the matrix in memory.
+
+        Args:
+            dtype: on-disk element type (float64 or float32); rows are
+                cast on write and read back as float64 for computation.
+        """
+        if num_cols < 1:
+            raise ShapeError(f"num_cols must be >= 1, got {num_cols}")
+        store_dtype = np.dtype(dtype)
+        if store_dtype not in _CODES_BY_DTYPE:
+            raise ConfigurationError(
+                f"unsupported dtype {store_dtype}; use float64 or float32"
+            )
+        pager = FilePager(path, page_size=page_size, create=True)
+        # Reserve the header page; the true header is rewritten at the end
+        # once the row count is known.
+        pager.write_page(0, b"\x00" * page_size)
+        count = 0
+        buffer: list[bytes] = []
+        buffered_rows = 0
+        for row in rows:
+            arr = np.ascontiguousarray(np.asarray(row, dtype=store_dtype))
+            if arr.shape != (num_cols,):
+                pager.close()
+                Path(path).unlink(missing_ok=True)
+                raise ShapeError(
+                    f"row {count} has shape {arr.shape}, expected ({num_cols},)"
+                )
+            buffer.append(arr.tobytes())
+            buffered_rows += 1
+            count += 1
+            if buffered_rows >= _STREAM_CHUNK_ROWS:
+                pager.append_raw(b"".join(buffer))
+                buffer.clear()
+                buffered_rows = 0
+        if buffer:
+            pager.append_raw(b"".join(buffer))
+        if count == 0:
+            pager.close()
+            Path(path).unlink(missing_ok=True)
+            raise ShapeError("cannot create a store with zero rows")
+        pager.write_page(
+            0,
+            cls._pack_header(
+                count, num_cols, page_size, _CODES_BY_DTYPE[store_dtype]
+            ),
+        )
+        pager.flush()
+        return cls(pager, count, num_cols, pool_capacity, dtype=store_dtype)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        pool_capacity: int = 64,
+    ) -> "MatrixStore":
+        """Open an existing store, validating its header."""
+        pager = FilePager(path, page_size=PAGE_SIZE_DEFAULT, create=False)
+        raw = pager.read_page(0)
+        try:
+            magic, rows, cols, page_size, dtype_code, crc = struct.unpack_from(
+                _HEADER_FMT, raw
+            )
+        except struct.error as exc:
+            pager.close()
+            raise FormatError(f"{path}: truncated header") from exc
+        if magic != _MAGIC:
+            pager.close()
+            raise FormatError(f"{path}: bad magic {magic!r}")
+        body = struct.pack("<8sQQIB", magic, rows, cols, page_size, dtype_code)
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            pager.close()
+            raise ChecksumError(f"{path}: header checksum mismatch")
+        if dtype_code not in _DTYPE_CODES:
+            pager.close()
+            raise FormatError(f"{path}: unknown dtype code {dtype_code}")
+        if page_size != pager.page_size:
+            # Re-open with the stored page size.
+            pager.close()
+            pager = FilePager(path, page_size=page_size, create=False)
+        return cls(pager, rows, cols, pool_capacity, dtype=_DTYPE_CODES[dtype_code])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the backing file (idempotent)."""
+        self._pager.close()
+
+    def __enter__(self) -> "MatrixStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- geometry & stats -----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, cols)`` of the stored matrix."""
+        return (self._rows, self._cols)
+
+    @property
+    def num_rows(self) -> int:
+        return self._rows
+
+    @property
+    def num_cols(self) -> int:
+        return self._cols
+
+    @property
+    def pass_count(self) -> int:
+        """Number of completed full sequential scans (the paper's 'passes')."""
+        return self._pass_count
+
+    @property
+    def io_stats(self):
+        """Physical I/O counters of the backing pager."""
+        return self._pager.stats
+
+    @property
+    def pool_stats(self):
+        """Buffer-pool hit/miss counters for the random-access path."""
+        return self._pool.stats
+
+    @property
+    def path(self) -> Path:
+        return self._pager.path
+
+    @property
+    def dtype(self) -> np.dtype:
+        """On-disk element type."""
+        return self._dtype
+
+    def pages_per_row(self) -> int:
+        """Worst-case pages touched by one random row read (exact).
+
+        Row offsets repeat modulo the page size with a short period, so
+        the maximum over that cycle is the true worst case — e.g. rows
+        that exactly fill a page and start page-aligned touch 1 page.
+        """
+        span = self._cols * self._item
+        page = self._pager.page_size
+        period = page // np.gcd(span, page)
+        worst = 1
+        for index in range(min(self._rows, period)):
+            start = self._row_offset(index)
+            end = start + span - 1
+            worst = max(worst, end // page - start // page + 1)
+        return worst
+
+    # -- random access -----------------------------------------------------
+
+    def _row_offset(self, index: int) -> int:
+        return self._data_offset + index * self._cols * self._item
+
+    def row(self, index: int) -> np.ndarray:
+        """Read one row through the buffer pool."""
+        if not 0 <= index < self._rows:
+            raise QueryError(f"row {index} out of range [0, {self._rows})")
+        raw = read_span(self._pool, self._row_offset(index), self._cols * self._item)
+        return np.frombuffer(raw, dtype=self._dtype).astype(np.float64)
+
+    def cell(self, row: int, col: int) -> float:
+        """Read one cell through the buffer pool."""
+        if not 0 <= row < self._rows:
+            raise QueryError(f"row {row} out of range [0, {self._rows})")
+        if not 0 <= col < self._cols:
+            raise QueryError(f"col {col} out of range [0, {self._cols})")
+        offset = self._row_offset(row) + col * self._item
+        raw = read_span(self._pool, offset, self._item)
+        return float(np.frombuffer(raw, dtype=self._dtype)[0])
+
+    # -- streamed passes ------------------------------------------------------
+
+    def iter_rows(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(index, row)`` sequentially from ``start`` to ``stop``.
+
+        Reads bypass the buffer pool (sequential scans must not thrash
+        the cache serving random queries).  Iterating the whole matrix
+        increments :attr:`pass_count`.
+        """
+        stop = self._rows if stop is None else stop
+        if not 0 <= start <= stop <= self._rows:
+            raise QueryError(
+                f"invalid scan range [{start}, {stop}) for {self._rows} rows"
+            )
+        row_bytes = self._cols * self._item
+        index = start
+        while index < stop:
+            chunk = min(_STREAM_CHUNK_ROWS, stop - index)
+            raw = self._read_raw(self._row_offset(index), chunk * row_bytes)
+            block = np.frombuffer(raw, dtype=self._dtype).reshape(chunk, self._cols)
+            for local in range(chunk):
+                yield index + local, block[local].astype(np.float64)
+            index += chunk
+        if start == 0 and stop == self._rows:
+            self._pass_count += 1
+
+    def _read_raw(self, offset: int, length: int) -> bytes:
+        """Sequential read path: whole pages via the pager, no caching."""
+        page_size = self._pager.page_size
+        first_page = offset // page_size
+        last_page = (offset + length - 1) // page_size
+        parts = [self._pager.read_page(pid) for pid in range(first_page, last_page + 1)]
+        blob = b"".join(parts)
+        begin = offset - first_page * page_size
+        return blob[begin : begin + length]
+
+    def read_all(self) -> np.ndarray:
+        """Materialize the full matrix (intended for tests / small data)."""
+        out = np.empty(self.shape, dtype=np.float64)
+        for index, row in self.iter_rows():
+            out[index] = row
+        return out
+
+
+def as_store(matrix_or_store, tmp_path: str | os.PathLike) -> MatrixStore:
+    """Coerce an ndarray to a :class:`MatrixStore`, passing stores through."""
+    if isinstance(matrix_or_store, MatrixStore):
+        return matrix_or_store
+    arr = np.asarray(matrix_or_store, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError("expected a 2-d array or MatrixStore")
+    return MatrixStore.create(tmp_path, arr)

@@ -1,0 +1,148 @@
+"""Fixed-size page I/O with access accounting.
+
+A :class:`FilePager` exposes a file as an array of fixed-size pages and
+counts every physical read and write.  All higher layers (buffer pool,
+matrix store, compressed model store) go through a pager, so the number
+of 'disk accesses' the paper reasons about is an observable quantity in
+this reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError, PageError, StoreClosedError
+
+PAGE_SIZE_DEFAULT = 8192
+
+
+@dataclass
+class IOStats:
+    """Physical I/O counters for a pager."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> "IOStats":
+        """A copy of the current counters."""
+        return IOStats(self.reads, self.writes, self.bytes_read, self.bytes_written)
+
+
+class FilePager:
+    """Page-granular access to a single file.
+
+    Pages are numbered from zero.  Reading past the end of the file
+    raises :class:`PageError`; writing page ``n`` when the file has
+    exactly ``n`` pages appends (sequential growth only, which is all
+    the row-major stores need).
+
+    Args:
+        path: backing file.  Created if missing when ``create=True``.
+        page_size: page size in bytes.
+        create: truncate/create the file instead of opening an existing one.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        create: bool = False,
+    ) -> None:
+        if page_size < 64:
+            raise ConfigurationError(f"page_size must be >= 64, got {page_size}")
+        self.path = Path(path)
+        self.page_size = page_size
+        self.stats = IOStats()
+        mode = "w+b" if create else "r+b"
+        if not create and not self.path.exists():
+            raise PageError(f"no such file: {self.path}")
+        self._file = open(self.path, mode)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "FilePager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"pager for {self.path} is closed")
+
+    # -- geometry ---------------------------------------------------------
+
+    def num_pages(self) -> int:
+        """Number of whole or partial pages currently in the file."""
+        self._require_open()
+        # Flush Python's write buffer so fstat sees all written bytes.
+        self._file.flush()
+        size = os.fstat(self._file.fileno()).st_size
+        return (size + self.page_size - 1) // self.page_size
+
+    # -- page I/O -----------------------------------------------------------
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page; short pages at EOF are zero-padded to page_size."""
+        self._require_open()
+        if page_id < 0 or page_id >= self.num_pages():
+            raise PageError(
+                f"page {page_id} out of range [0, {self.num_pages()}) in {self.path}"
+            )
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        self.stats.reads += 1
+        self.stats.bytes_read += len(data)
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page; ``data`` must be at most one page long."""
+        self._require_open()
+        if len(data) > self.page_size:
+            raise PageError(
+                f"page payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        if page_id < 0 or page_id > self.num_pages():
+            raise PageError(
+                f"cannot write page {page_id}; file has {self.num_pages()} pages"
+            )
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+    def append_raw(self, data: bytes) -> None:
+        """Append raw bytes (used by bulk writers building the data region)."""
+        self._require_open()
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
+    def flush(self) -> None:
+        """Flush buffered writes to the OS."""
+        self._require_open()
+        self._file.flush()

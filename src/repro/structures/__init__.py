@@ -1,0 +1,32 @@
+"""Core data structures used by the SVDD delta machinery.
+
+The paper's SVDD method stores outlier cells as ``(row, column, delta)``
+triplets in a hash table keyed by ``row*M + column`` (Section 4.2), with
+an optional main-memory Bloom filter in front of it to answer the
+common 'not an outlier' case without probing the table.  The 3-pass
+construction algorithm (Figure 5) maintains one bounded priority queue
+per candidate cutoff ``k`` holding the ``gamma_k`` worst-reconstructed
+cells seen so far.
+
+This package implements those three structures from scratch:
+
+- :class:`BloomFilter` and :class:`CountingBloomFilter`;
+- :class:`BoundedTopHeap` — fixed-capacity min-heap keeping the largest
+  items by key;
+- :class:`OpenAddressingTable` — int-keyed open-addressing hash table
+  with linear probing, the delta store's in-memory form.
+"""
+
+from repro.structures.bloom import BloomFilter, CountingBloomFilter
+from repro.structures.hashtable import OpenAddressingTable
+from repro.structures.heap import BoundedTopHeap, HeapItem
+from repro.structures.topk import TopKBuffer
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "BoundedTopHeap",
+    "HeapItem",
+    "OpenAddressingTable",
+    "TopKBuffer",
+]

@@ -1,0 +1,205 @@
+"""Warehouse catalog: many compressed matrices under one roof.
+
+The paper's setting is a data warehouse, which holds more than one
+dataset.  :class:`Warehouse` manages a directory of named
+:class:`~repro.core.store.CompressedMatrix` models plus their raw
+sources, with a JSON catalog recording name, shape, budget, build
+parameters, and verification status — the operational surface around
+the single-matrix machinery.
+
+Layout::
+
+    <root>/catalog.json
+    <root>/<name>/raw.mat          (optional; kept when ingesting)
+    <root>/<name>/model/...        (the CompressedMatrix directory)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.store import CompressedMatrix
+from repro.core.svdd import SVDDCompressor
+from repro.core.verify import verify_model
+from repro.exceptions import ConfigurationError, DatasetError, FormatError
+from repro.storage.matrix_store import MatrixStore
+
+_CATALOG = "catalog.json"
+
+
+@dataclass
+class CatalogEntry:
+    """Metadata for one warehouse dataset."""
+
+    name: str
+    rows: int
+    cols: int
+    budget_fraction: float
+    cutoff: int
+    num_deltas: int
+    keeps_raw: bool
+    verified_rmspe: float | None = None
+
+
+class Warehouse:
+    """A directory of named compressed datasets with a JSON catalog."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, CatalogEntry] = {}
+        self._load_catalog()
+
+    # -- catalog persistence ----------------------------------------------
+
+    def _catalog_path(self) -> Path:
+        return self.root / _CATALOG
+
+    def _load_catalog(self) -> None:
+        path = self._catalog_path()
+        if not path.exists():
+            return
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"{path}: corrupt catalog") from exc
+        self._entries = {
+            record["name"]: CatalogEntry(**record) for record in raw["datasets"]
+        }
+
+    def _save_catalog(self) -> None:
+        payload = {
+            "datasets": [asdict(entry) for entry in self._entries.values()]
+        }
+        self._catalog_path().write_text(json.dumps(payload, indent=2))
+
+    # -- dataset management ------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Catalogued dataset names, sorted."""
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> CatalogEntry:
+        """Catalog metadata for one dataset."""
+        if name not in self._entries:
+            raise DatasetError(f"no dataset {name!r} in warehouse {self.root}")
+        return self._entries[name]
+
+    def _validate_name(self, name: str) -> None:
+        if not name or any(ch in name for ch in "/\\. "):
+            raise ConfigurationError(
+                f"dataset name {name!r} must be non-empty without '/', '\\\\', "
+                "'.', or spaces"
+            )
+
+    def ingest(
+        self,
+        name: str,
+        matrix: np.ndarray | MatrixStore,
+        budget_fraction: float = 0.10,
+        keep_raw: bool = True,
+        verify: bool = True,
+        compressor: SVDDCompressor | None = None,
+    ) -> CatalogEntry:
+        """Compress ``matrix`` into the warehouse under ``name``.
+
+        Args:
+            name: catalog key (also the subdirectory name).
+            matrix: the data, in memory or as an existing store.
+            budget_fraction: SVDD space budget (ignored when an explicit
+                ``compressor`` is supplied).
+            keep_raw: retain the raw matrix beside the model (needed for
+                later :meth:`verify` / :meth:`rebuild` calls).
+            verify: audit the model right after building and record the
+                measured RMSPE in the catalog.
+            compressor: optional pre-configured compressor.
+        """
+        self._validate_name(name)
+        if name in self._entries:
+            raise DatasetError(f"dataset {name!r} already exists; drop it first")
+        dataset_dir = self.root / name
+        dataset_dir.mkdir(parents=True, exist_ok=True)
+
+        if isinstance(matrix, MatrixStore):
+            raw_store = matrix
+            owns_raw = False
+        else:
+            raw_store = MatrixStore.create(dataset_dir / "raw.mat", matrix)
+            owns_raw = True
+
+        fitter = compressor or SVDDCompressor(budget_fraction=budget_fraction)
+        model = fitter.fit(raw_store)
+        compressed = CompressedMatrix.save(model, dataset_dir / "model")
+        verified = None
+        if verify:
+            verified = verify_model(raw_store, compressed).rmspe
+        compressed.close()
+
+        if owns_raw and not keep_raw:
+            raw_store.close()
+            (dataset_dir / "raw.mat").unlink()
+        elif owns_raw:
+            raw_store.close()
+        elif keep_raw:
+            # Copy an externally-owned store into the warehouse.
+            shutil.copyfile(raw_store.path, dataset_dir / "raw.mat")
+
+        entry = CatalogEntry(
+            name=name,
+            rows=model.num_rows,
+            cols=model.num_cols,
+            budget_fraction=getattr(fitter, "budget_fraction", budget_fraction),
+            cutoff=model.cutoff,
+            num_deltas=model.num_deltas,
+            keeps_raw=keep_raw,
+            verified_rmspe=verified,
+        )
+        self._entries[name] = entry
+        self._save_catalog()
+        return entry
+
+    def open(self, name: str, pool_capacity: int = 64) -> CompressedMatrix:
+        """Open a catalogued model for querying (caller closes it)."""
+        self.entry(name)
+        return CompressedMatrix.open(self.root / name / "model", pool_capacity)
+
+    def open_raw(self, name: str) -> MatrixStore:
+        """Open the retained raw store (caller closes it)."""
+        entry = self.entry(name)
+        if not entry.keeps_raw:
+            raise DatasetError(f"dataset {name!r} was ingested without raw data")
+        return MatrixStore.open(self.root / name / "raw.mat")
+
+    def verify(self, name: str):
+        """Re-audit a dataset's model against its retained raw data."""
+        raw = self.open_raw(name)
+        model = self.open(name)
+        try:
+            report = verify_model(raw, model)
+        finally:
+            model.close()
+            raw.close()
+        self._entries[name].verified_rmspe = report.rmspe
+        self._save_catalog()
+        return report
+
+    def drop(self, name: str) -> None:
+        """Remove a dataset and its files."""
+        self.entry(name)
+        shutil.rmtree(self.root / name, ignore_errors=True)
+        del self._entries[name]
+        self._save_catalog()
+
+    def total_model_bytes(self) -> int:
+        """Combined on-disk size of all model directories."""
+        total = 0
+        for name in self._entries:
+            model_dir = self.root / name / "model"
+            total += sum(f.stat().st_size for f in model_dir.iterdir())
+        return total

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import phone_matrix, stocks_matrix, toy_matrix
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic generator for ad hoc random inputs."""
+    return np.random.default_rng(20260704)
+
+
+@pytest.fixture(scope="session")
+def toy() -> np.ndarray:
+    """The paper's Table 1 matrix."""
+    return toy_matrix()
+
+
+@pytest.fixture(scope="session")
+def phone_small() -> np.ndarray:
+    """A small phone-like matrix (200 x 366) for fast method tests."""
+    return phone_matrix(200)
+
+
+@pytest.fixture(scope="session")
+def phone_medium() -> np.ndarray:
+    """A medium phone-like matrix (600 x 366) for integration tests."""
+    return phone_matrix(600)
+
+
+@pytest.fixture(scope="session")
+def stocks_small() -> np.ndarray:
+    """A small stocks matrix (120 x 128)."""
+    return stocks_matrix(120)
+
+
+@pytest.fixture()
+def low_rank(rng) -> np.ndarray:
+    """An exactly rank-3 matrix with known structure."""
+    u = rng.standard_normal((80, 3))
+    v = rng.standard_normal((3, 40))
+    return u @ v

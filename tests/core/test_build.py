@@ -1,0 +1,97 @@
+"""Tests for the constant-memory build pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedMatrix, SVDDCompressor
+from repro.core.build import build_compressed, estimate_build_memory
+from repro.data import phone_matrix
+from repro.exceptions import FormatError
+from repro.storage import MatrixStore
+
+
+@pytest.fixture(scope="module")
+def data():
+    return phone_matrix(200)
+
+
+class TestBuildCompressed:
+    def test_equivalent_to_fit_plus_save(self, tmp_path, data):
+        """The streamed build and the two-step path agree cell for cell."""
+        model = SVDDCompressor(budget_fraction=0.10).fit(data)
+        two_step = CompressedMatrix.save(model, tmp_path / "two_step")
+        streamed = build_compressed(data, tmp_path / "streamed", 0.10)
+        assert streamed.cutoff == two_step.cutoff
+        assert streamed.num_deltas == two_step.num_deltas
+        rng = np.random.default_rng(1)
+        for row, col in rng.integers(0, [200, 366], size=(30, 2)):
+            assert streamed.cell(int(row), int(col)) == pytest.approx(
+                two_step.cell(int(row), int(col)), abs=1e-9
+            )
+        streamed.close()
+        two_step.close()
+
+    def test_from_disk_source_with_pass_counting(self, tmp_path, data):
+        source = MatrixStore.create(tmp_path / "x.mat", data)
+        store = build_compressed(source, tmp_path / "model", 0.10)
+        # gram + error pass + U pass + zero-row pass = 4 sequential scans.
+        assert source.pass_count == 4
+        assert store.shape == data.shape
+        store.close()
+        source.close()
+
+    def test_reopenable(self, tmp_path, data):
+        build_compressed(data, tmp_path / "model", 0.10).close()
+        store = CompressedMatrix.open(tmp_path / "model")
+        assert store.shape == (200, 366)
+        assert np.isfinite(store.cell(10, 10))
+        store.close()
+
+    def test_zero_rows_flagged(self, tmp_path):
+        x = phone_matrix(150).copy()
+        x[42] = 0.0
+        store = build_compressed(x, tmp_path / "model", 0.15)
+        assert store.num_zero_rows >= 1
+        assert store.cell(42, 5) == 0.0
+        store.close()
+
+    def test_float32_build(self, tmp_path, data):
+        store = build_compressed(data, tmp_path / "m32", 0.10, bytes_per_value=4)
+        assert store.bytes_per_value == 4
+        assert store._u_store.dtype == np.float32
+        assert store._u_store.pages_per_row() == 1
+        store.close()
+
+    def test_one_row_per_page(self, tmp_path, data):
+        store = build_compressed(data, tmp_path / "model", 0.10)
+        assert store._u_store.pages_per_row() == 1
+        store.close()
+
+    def test_invalid_precision(self, tmp_path, data):
+        with pytest.raises(FormatError):
+            build_compressed(data, tmp_path / "bad", 0.10, bytes_per_value=2)
+
+    def test_custom_compressor(self, tmp_path, data):
+        fitter = SVDDCompressor(budget_fraction=0.05, k_max=2)
+        store = build_compressed(data, tmp_path / "model", compressor=fitter)
+        assert store.cutoff <= 2
+        store.close()
+
+    def test_space_within_budget(self, tmp_path, data):
+        store = build_compressed(data, tmp_path / "model", 0.10)
+        assert store.space_bytes() <= 0.10 * data.size * 8 + 1e-9
+        store.close()
+
+
+class TestMemoryEstimate:
+    def test_dominated_by_gram_for_wide_matrices(self):
+        estimate = estimate_build_memory(2000, 0.01, 10_000)
+        assert estimate >= 2000 * 2000 * 8
+
+    def test_independent_of_n_beyond_queue_cap(self):
+        small_n = estimate_build_memory(366, 0.10, 10_000)
+        huge_n = estimate_build_memory(366, 0.10, 100_000_000)
+        # The queue term saturates at its cap; memory does not grow with N.
+        assert huge_n <= small_n * 2

@@ -1,0 +1,99 @@
+"""Tests for reduced-precision (float32) model storage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedMatrix, SVDDCompressor
+from repro.exceptions import FormatError
+from repro.metrics import rmspe
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data import phone_matrix
+
+    return phone_matrix(200)
+
+
+@pytest.fixture(scope="module")
+def model(data):
+    # Budget high enough that k exceeds the 64-byte page-padding floor,
+    # so the float32 U file is genuinely smaller on disk.
+    return SVDDCompressor(budget_fraction=0.40).fit(data)
+
+
+class TestFloat32Storage:
+    def test_roundtrip(self, tmp_path, model):
+        store = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)
+        assert store.bytes_per_value == 4
+        reopened = CompressedMatrix.open(tmp_path / "m32")
+        assert reopened.bytes_per_value == 4
+        reopened.close()
+        store.close()
+
+    def test_quantization_noise_is_tiny(self, tmp_path, model, data):
+        full = CompressedMatrix.save(model, tmp_path / "m64", bytes_per_value=8)
+        half = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)
+        err_full = rmspe(data, full.reconstruct_all())
+        err_half = rmspe(data, half.reconstruct_all())
+        # float32 adds ~1e-7 relative noise; invisible next to the
+        # truncation error itself.
+        assert err_half == pytest.approx(err_full, rel=1e-3)
+        full.close()
+        half.close()
+
+    def test_on_disk_u_is_half_the_size(self, tmp_path, model):
+        full = CompressedMatrix.save(model, tmp_path / "m64", bytes_per_value=8)
+        half = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)
+        size_full = (tmp_path / "m64" / "u.mat").stat().st_size
+        size_half = (tmp_path / "m32" / "u.mat").stat().st_size
+        assert size_half < size_full * 0.6
+        full.close()
+        half.close()
+
+    def test_space_accounting_uses_b(self, tmp_path, model):
+        half = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)
+        full = CompressedMatrix.save(model, tmp_path / "m64", bytes_per_value=8)
+        # Same k and delta count; the SVD part's bytes halve, deltas
+        # stay at their fixed record size.
+        from repro.core import space
+
+        diff = full.space_bytes() - half.space_bytes()
+        rows, cols = full.shape
+        assert diff == space.svd_space_bytes(rows, cols, full.cutoff, 8) - (
+            space.svd_space_bytes(rows, cols, full.cutoff, 4)
+        )
+        full.close()
+        half.close()
+
+    def test_one_disk_access_preserved(self, tmp_path, model):
+        store = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)
+        assert store._u_store.pages_per_row() == 1
+        store.close()
+
+    def test_invalid_precision_rejected(self, tmp_path, model):
+        with pytest.raises(FormatError):
+            CompressedMatrix.save(model, tmp_path / "bad", bytes_per_value=2)
+
+
+class TestPrecisionVsComponentsTradeoff:
+    def test_halving_b_doubles_affordable_k(self, data):
+        """The end-to-end win: at the same byte budget, b=4 admits about
+        twice the principal components, and the extra components beat
+        the float32 quantization noise by orders of magnitude."""
+        budget = 0.05
+        model_b8 = SVDDCompressor(budget_fraction=budget, bytes_per_value=8).fit(data)
+        model_b4 = SVDDCompressor(
+            budget_fraction=budget, bytes_per_value=4, raw_bytes_per_value=8
+        ).fit(data)
+        assert model_b4.k_max >= model_b8.k_max * 1.8
+
+    def test_paper_accounting_is_b_invariant(self, data):
+        """Without a separate raw size, the fraction budget cancels b —
+        the paper's accounting (data and model share the same 'b')."""
+        budget = 0.05
+        model_b8 = SVDDCompressor(budget_fraction=budget, bytes_per_value=8).fit(data)
+        model_b4 = SVDDCompressor(budget_fraction=budget, bytes_per_value=4).fit(data)
+        assert model_b4.k_max == model_b8.k_max

@@ -1,0 +1,151 @@
+"""Tests for the persistent CompressedMatrix store."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedMatrix, SVDCompressor, SVDDCompressor
+from repro.data import phone_matrix
+from repro.exceptions import FormatError, QueryError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return phone_matrix(150)
+
+
+@pytest.fixture(scope="module")
+def svdd_model(data):
+    return SVDDCompressor(budget_fraction=0.10).fit(data)
+
+
+@pytest.fixture()
+def saved(tmp_path, svdd_model):
+    store = CompressedMatrix.save(svdd_model, tmp_path / "model")
+    yield store
+    store.close()
+
+
+class TestPersistence:
+    def test_save_open_roundtrip(self, tmp_path, svdd_model, data):
+        directory = tmp_path / "model"
+        CompressedMatrix.save(svdd_model, directory).close()
+        with CompressedMatrix.open(directory) as store:
+            assert store.shape == data.shape
+            assert store.cutoff == svdd_model.cutoff
+            assert store.num_deltas == svdd_model.num_deltas
+            assert np.allclose(store.reconstruct_all(), svdd_model.reconstruct())
+
+    def test_svd_model_without_deltas(self, tmp_path, data):
+        model = SVDCompressor(k=6).fit(data)
+        with CompressedMatrix.save(model, tmp_path / "svd") as store:
+            assert store.num_deltas == 0
+            assert store.cell(3, 3) == pytest.approx(model.reconstruct_cell(3, 3))
+
+    def test_missing_meta_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FormatError):
+            CompressedMatrix.open(tmp_path / "empty")
+
+    def test_meta_shape_mismatch_rejected(self, tmp_path, svdd_model):
+        directory = tmp_path / "model"
+        CompressedMatrix.save(svdd_model, directory).close()
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["rows"] += 1
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(FormatError):
+            CompressedMatrix.open(directory)
+
+    def test_missing_delta_file_rejected(self, tmp_path, svdd_model):
+        directory = tmp_path / "model"
+        CompressedMatrix.save(svdd_model, directory).close()
+        (directory / "deltas.bin").unlink()
+        with pytest.raises(FormatError):
+            CompressedMatrix.open(directory)
+
+
+class TestQueries:
+    def test_cell_matches_model(self, saved, svdd_model):
+        for row, col in [(0, 0), (17, 200), (149, 365), (75, 100)]:
+            assert saved.cell(row, col) == pytest.approx(
+                svdd_model.reconstruct_cell(row, col), abs=1e-9
+            )
+
+    def test_row_matches_model(self, saved, svdd_model):
+        assert np.allclose(saved.row(42), svdd_model.reconstruct_row(42), atol=1e-9)
+
+    def test_column_matches_model(self, saved, svdd_model):
+        full = svdd_model.reconstruct()
+        assert np.allclose(saved.column(17), full[:, 17], atol=1e-9)
+
+    def test_bounds_checked(self, saved):
+        with pytest.raises(QueryError):
+            saved.cell(150, 0)
+        with pytest.raises(QueryError):
+            saved.cell(0, 366)
+        with pytest.raises(QueryError):
+            saved.row(-1)
+        with pytest.raises(QueryError):
+            saved.column(366)
+
+    def test_space_bytes_positive(self, saved, svdd_model):
+        assert saved.space_bytes() == svdd_model.space_bytes()
+
+
+class TestDiskAccessClaim:
+    """Section 4.1: 'only a single disk access is required' per cell."""
+
+    def test_one_page_miss_per_cold_row(self, tmp_path, svdd_model):
+        store = CompressedMatrix.save(svdd_model, tmp_path / "m")
+        store.u_pool_stats.reset()
+        store.stats["zero_row_skips"] = 0
+        # 30 distinct cold rows -> one page miss each, except rows the
+        # Section 6.2 zero-row flag answers without touching the disk.
+        for row in range(0, 150, 5):
+            store.cell(row, 100)
+        assert store.u_pool_stats.misses + store.stats["zero_row_skips"] == 30
+        assert store.u_pool_stats.misses <= 30
+        store.close()
+
+    def test_repeated_cell_hits_cache(self, tmp_path, svdd_model):
+        store = CompressedMatrix.save(svdd_model, tmp_path / "m")
+        store.cell(5, 5)
+        store.u_pool_stats.reset()
+        store.cell(5, 99)  # same U row: zero further misses
+        assert store.u_pool_stats.misses == 0
+        store.close()
+
+    def test_u_row_fits_one_page(self, saved):
+        # The U store is created with page_size >= one row of U.
+        assert saved._u_store.pages_per_row() == 1
+
+
+class TestReconstructRange:
+    def test_matches_full_reconstruction(self, saved, svdd_model):
+        rows, cols = [3, 17, 149], [0, 100, 365]
+        block = saved.reconstruct_range(rows, cols)
+        full = svdd_model.reconstruct()
+        assert np.allclose(block, full[np.ix_(rows, cols)], atol=1e-9)
+
+    def test_single_cell_range(self, saved):
+        block = saved.reconstruct_range([5], [7])
+        assert block.shape == (1, 1)
+        assert block[0, 0] == pytest.approx(saved.cell(5, 7))
+
+    def test_includes_delta_corrections(self, saved, svdd_model):
+        outliers = svdd_model.outlier_cells()
+        if outliers:
+            row, col, _delta = outliers[0]
+            block = saved.reconstruct_range([row], [col])
+            assert block[0, 0] == pytest.approx(
+                svdd_model.reconstruct_cell(row, col), abs=1e-9
+            )
+
+    def test_bounds_checked(self, saved):
+        with pytest.raises(QueryError):
+            saved.reconstruct_range([9999], [0])
+        with pytest.raises(QueryError):
+            saved.reconstruct_range([0], [])

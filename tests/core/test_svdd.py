@@ -1,0 +1,237 @@
+"""Tests for the three-pass SVDD compressor (paper Section 4.2, Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SVDCompressor, SVDDCompressor
+from repro.core.model import cell_key
+from repro.exceptions import ConfigurationError
+from repro.metrics import rmspe, worst_case_error
+from repro.storage import MatrixStore
+
+
+@pytest.fixture(scope="module")
+def spiky_matrix():
+    """Low-rank data plus a handful of gross outlier cells."""
+    rng = np.random.default_rng(11)
+    base = np.outer(rng.random(150) * 10, rng.random(40) + 0.5)
+    noise = rng.standard_normal((150, 40)) * 0.05
+    x = base + noise
+    for row, col in [(3, 7), (50, 0), (99, 39), (120, 20), (7, 7)]:
+        x[row, col] += 500.0
+    return x
+
+
+class TestConstruction:
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            SVDDCompressor(budget_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SVDDCompressor(budget_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            SVDDCompressor(budget_fraction=0.1, k_max=0)
+
+    def test_three_passes_on_store(self, tmp_path, phone_small):
+        store = MatrixStore.create(tmp_path / "x.mat", phone_small)
+        SVDDCompressor(budget_fraction=0.10).fit(store)
+        assert store.pass_count == 3  # the paper's headline claim
+        store.close()
+
+    def test_store_and_array_agree(self, tmp_path, phone_small):
+        store = MatrixStore.create(tmp_path / "x.mat", phone_small)
+        a = SVDDCompressor(budget_fraction=0.08).fit(phone_small)
+        b = SVDDCompressor(budget_fraction=0.08).fit(store)
+        assert a.cutoff == b.cutoff
+        assert a.num_deltas == b.num_deltas
+        assert np.allclose(a.reconstruct(), b.reconstruct(), atol=1e-8)
+        store.close()
+
+    def test_deterministic(self, phone_small):
+        a = SVDDCompressor(budget_fraction=0.05).fit(phone_small)
+        b = SVDDCompressor(budget_fraction=0.05).fit(phone_small)
+        assert a.cutoff == b.cutoff
+        assert sorted(a.deltas.items()) == sorted(b.deltas.items())
+
+
+class TestBudgetRespect:
+    @pytest.mark.parametrize("budget", [0.02, 0.05, 0.10, 0.25])
+    def test_space_within_budget(self, phone_small, budget):
+        model = SVDDCompressor(budget_fraction=budget).fit(phone_small)
+        assert model.space_fraction() <= budget + 1e-12
+
+    def test_k_opt_does_not_exceed_k_max(self, phone_small):
+        model = SVDDCompressor(budget_fraction=0.10, k_max=5).fit(phone_small)
+        assert model.cutoff <= 5
+
+    def test_tiny_budget_all_pcs_no_deltas_regime(self):
+        """Very small s: optimal choice can be k_max with gamma ~ 0
+        (paper Section 5.1, fourth bullet)."""
+        rng = np.random.default_rng(5)
+        # Smooth low-rank data with NO outliers: deltas are never worth it.
+        x = np.outer(rng.random(200) * 5, rng.random(30) + 1.0)
+        model = SVDDCompressor(budget_fraction=0.04).fit(x)
+        assert model.num_deltas == 0 or model.cutoff == model.k_max
+
+
+class TestDeltas:
+    def test_planted_spikes_end_up_accurate(self, spiky_matrix):
+        """Every planted spike is either absorbed by a principal component
+        or stored as a delta — both ways it reconstructs accurately.
+        (Two of the five spikes share column 7 and form a pattern the
+        SVD itself captures; the rest must become deltas.)"""
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        stored = {(row, col) for row, col, _ in model.outlier_cells()}
+        for planted in [(3, 7), (50, 0), (99, 39), (120, 20), (7, 7)]:
+            recon = model.reconstruct_cell(*planted)
+            absorbed = abs(recon - spiky_matrix[planted]) < 25.0  # << spike of 500
+            assert absorbed or planted in stored
+            assert absorbed  # and in fact accurate either way
+
+    def test_deltas_are_the_worst_cells(self, spiky_matrix):
+        """The stored cells are exactly the gamma worst under plain SVD."""
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        plain = model.svd.reconstruct()
+        errors = np.abs(spiky_matrix - plain)
+        threshold = np.sort(errors.ravel())[::-1][model.num_deltas - 1]
+        for row, col, _delta in model.outlier_cells():
+            assert errors[row, col] >= threshold - 1e-9
+
+    def test_outlier_cells_reconstruct_exactly(self, spiky_matrix):
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        for row, col, _delta in model.outlier_cells()[:50]:
+            assert model.reconstruct_cell(row, col) == pytest.approx(
+                spiky_matrix[row, col], abs=1e-6
+            )
+
+    def test_svdd_beats_svd_rmspe(self, spiky_matrix):
+        svdd = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        svd = SVDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        assert rmspe(spiky_matrix, svdd.reconstruct()) <= rmspe(
+            spiky_matrix, svd.reconstruct()
+        )
+
+    def test_svdd_bounds_worst_case(self, spiky_matrix):
+        """Table 3's phenomenon: SVDD's worst cell error is far below SVD's."""
+        svdd = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        svd = SVDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        _, norm_svdd = worst_case_error(spiky_matrix, svdd.reconstruct())
+        _, norm_svd = worst_case_error(spiky_matrix, svd.reconstruct())
+        assert norm_svdd < norm_svd / 5
+
+    def test_reconstruct_row_applies_deltas(self, spiky_matrix):
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        row_idx, col_idx, _ = model.outlier_cells()[0]
+        row = model.reconstruct_row(row_idx)
+        assert row[col_idx] == pytest.approx(spiky_matrix[row_idx, col_idx], abs=1e-6)
+
+    def test_full_reconstruct_matches_cellwise(self, spiky_matrix):
+        model = SVDDCompressor(budget_fraction=0.08).fit(spiky_matrix)
+        full = model.reconstruct()
+        for row, col in [(0, 0), (3, 7), (149, 39), (75, 20)]:
+            assert full[row, col] == pytest.approx(
+                model.reconstruct_cell(row, col), abs=1e-9
+            )
+
+
+class TestEpsilonCurve:
+    def test_candidate_errors_recorded(self, phone_small):
+        model = SVDDCompressor(budget_fraction=0.10).fit(phone_small)
+        assert model.candidate_errors is not None
+        assert model.candidate_errors.shape[0] == model.k_max
+        assert np.all(model.candidate_errors >= 0)
+
+    def test_k_opt_minimizes_epsilon(self, phone_small):
+        model = SVDDCompressor(budget_fraction=0.10).fit(phone_small)
+        chosen = model.candidate_errors[model.cutoff - 1]
+        assert chosen == pytest.approx(model.candidate_errors.min())
+
+    def test_epsilon_matches_realized_error(self, spiky_matrix):
+        """epsilon_{k_opt} from pass 2 equals the realized SSE of the model."""
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        realized = float(((model.reconstruct() - spiky_matrix) ** 2).sum())
+        predicted = float(model.candidate_errors[model.cutoff - 1])
+        assert realized == pytest.approx(predicted, rel=1e-6, abs=1e-6)
+
+
+class TestBloom:
+    def test_bloom_admits_every_outlier(self, spiky_matrix):
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        assert model.bloom is not None
+        cols = model.num_cols
+        for row, col, _ in model.outlier_cells():
+            assert cell_key(row, col, cols) in model.bloom
+
+    def test_bloom_skips_most_non_outliers(self, spiky_matrix):
+        model = SVDDCompressor(budget_fraction=0.10).fit(spiky_matrix)
+        model.stats["bloom_skips"] = 0
+        model.stats["table_probes"] = 0
+        outliers = {(r, c) for r, c, _ in model.outlier_cells()}
+        probes = 0
+        for row in range(0, 150, 7):
+            for col in range(0, 40, 3):
+                if (row, col) not in outliers:
+                    model.reconstruct_cell(row, col)
+                    probes += 1
+        assert model.stats["bloom_skips"] > probes * 0.8
+
+    def test_disable_bloom(self, spiky_matrix):
+        model = SVDDCompressor(budget_fraction=0.10, use_bloom=False).fit(spiky_matrix)
+        assert model.bloom is None
+        # Reconstruction of outlier cells must still be exact.
+        row, col, _ = model.outlier_cells()[0]
+        assert model.reconstruct_cell(row, col) == pytest.approx(
+            spiky_matrix[row, col], abs=1e-6
+        )
+
+
+class TestNaiveReference:
+    """The 3-pass algorithm (Fig. 5) must match the straightforward
+    per-k recomputation it replaces (Fig. 4)."""
+
+    @pytest.fixture(scope="class")
+    def both(self, phone_small=None):
+        from repro.core import NaiveSVDDCompressor
+        from repro.data import phone_matrix
+
+        data = phone_matrix(150)
+        fast = SVDDCompressor(budget_fraction=0.10).fit(data)
+        naive = NaiveSVDDCompressor(budget_fraction=0.10).fit(data)
+        return data, fast, naive
+
+    def test_same_k_opt(self, both):
+        _data, fast, naive = both
+        assert fast.cutoff == naive.cutoff
+
+    def test_same_epsilon_curve(self, both):
+        _data, fast, naive = both
+        assert np.allclose(fast.candidate_errors, naive.candidate_errors, rtol=1e-6)
+
+    def test_same_outlier_cells(self, both):
+        _data, fast, naive = both
+        assert {k for k, _ in fast.deltas.items()} == {
+            k for k, _ in naive.deltas.items()
+        }
+
+    def test_same_delta_values(self, both):
+        _data, fast, naive = both
+        naive_map = dict(naive.deltas.items())
+        for key, delta in fast.deltas.items():
+            assert delta == pytest.approx(naive_map[key], abs=1e-9)
+
+    def test_fast_uses_three_passes_naive_many(self, tmp_path):
+        from repro.core import NaiveSVDDCompressor
+        from repro.data import phone_matrix
+        from repro.storage import MatrixStore
+
+        data = phone_matrix(120)
+        fast_store = MatrixStore.create(tmp_path / "a.mat", data)
+        SVDDCompressor(budget_fraction=0.05).fit(fast_store)
+        naive_store = MatrixStore.create(tmp_path / "b.mat", data)
+        NaiveSVDDCompressor(budget_fraction=0.05).fit(naive_store)
+        assert fast_store.pass_count == 3
+        # Fig. 4: ~3 passes per candidate k.
+        assert naive_store.pass_count > 2 * fast_store.pass_count
+        fast_store.close()
+        naive_store.close()

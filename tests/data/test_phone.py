@@ -1,0 +1,101 @@
+"""Tests for the synthetic phone dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import PhoneConfig, phone_matrix
+from repro.data.phone import iter_phone_rows
+from repro.exceptions import DatasetError
+
+
+class TestShapeAndDeterminism:
+    def test_shape(self):
+        assert phone_matrix(50).shape == (50, 366)
+
+    def test_custom_days(self):
+        config = PhoneConfig(num_days=30)
+        assert phone_matrix(10, config).shape == (10, 30)
+
+    def test_deterministic(self):
+        assert np.array_equal(phone_matrix(40), phone_matrix(40))
+
+    def test_prefix_stable(self):
+        """phone1000 must be the first rows of phone2000 (paper's subsets)."""
+        small = phone_matrix(60)
+        large = phone_matrix(150)
+        assert np.array_equal(small, large[:60])
+
+    def test_seed_changes_data(self):
+        a = phone_matrix(30, PhoneConfig(seed=1))
+        b = phone_matrix(30, PhoneConfig(seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_iter_matches_matrix(self):
+        rows = list(iter_phone_rows(25))
+        assert np.array_equal(np.vstack(rows), phone_matrix(25))
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(DatasetError):
+            phone_matrix(0)
+
+    def test_rejects_tiny_weeks(self):
+        with pytest.raises(DatasetError):
+            phone_matrix(5, PhoneConfig(num_days=3))
+
+
+class TestStructuralProperties:
+    """The properties the paper's results depend on (DESIGN.md Section 2)."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return phone_matrix(800)
+
+    def test_non_negative(self, matrix):
+        assert matrix.min() >= 0.0
+
+    def test_has_inactive_customers(self, matrix):
+        """Section 6.2: 'several customers did not make any purchases at all'."""
+        zero_rows = np.flatnonzero(matrix.sum(axis=1) == 0.0)
+        assert zero_rows.size > 0
+
+    def test_low_rank_energy_concentration(self, matrix):
+        """A few principal components capture most of the energy."""
+        singular = np.linalg.svd(matrix, compute_uv=False)
+        energy = np.cumsum(singular**2) / np.sum(singular**2)
+        assert energy[9] > 0.80  # 10 of 366 components hold >80% energy
+
+    def test_volume_skew_is_heavy_tailed(self, matrix):
+        """Zipf-like skew: the top 1% of customers dominate (Fig. 11a)."""
+        volumes = np.sort(matrix.sum(axis=1))[::-1]
+        top_share = volumes[: len(volumes) // 100].sum() / volumes.sum()
+        assert top_share > 0.10
+
+    def test_weekday_weekend_patterns_present(self, matrix):
+        """Business rows concentrate on weekdays, residential on weekends."""
+        days = np.arange(matrix.shape[1])
+        weekday_mask = days % 7 < 5
+        weekday_share = matrix[:, weekday_mask].sum(axis=1) / np.maximum(
+            matrix.sum(axis=1), 1e-12
+        )
+        active = matrix.sum(axis=1) > 0
+        # Both extremes must exist among active customers.
+        assert (weekday_share[active] > 0.85).any()
+        assert (weekday_share[active] < 0.40).any()
+
+    def test_spikes_exist(self, matrix):
+        """Bursty cells far above a customer's own scale (the SVDD outliers)."""
+        row_means = matrix.mean(axis=1, keepdims=True)
+        active = matrix.sum(axis=1) > 0
+        ratio = matrix[active] / np.maximum(row_means[active], 1e-12)
+        assert ratio.max() > 5.0
+
+    def test_no_spikes_when_disabled(self):
+        config = PhoneConfig(spike_row_prob=0.0, noise_sigma=0.0)
+        matrix = phone_matrix(300, config)
+        active = matrix.sum(axis=1) > 0
+        ratio = matrix[active] / np.maximum(
+            matrix[active].mean(axis=1, keepdims=True), 1e-12
+        )
+        assert ratio.max() < 5.0

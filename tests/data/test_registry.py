@@ -1,0 +1,72 @@
+"""Tests for the named dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_names, load_dataset, toy_matrix
+from repro.data.registry import clear_cache
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestNames:
+    def test_toy(self):
+        dataset = load_dataset("toy")
+        assert dataset.shape == (7, 5)
+        assert np.array_equal(dataset.matrix, toy_matrix())
+
+    def test_stocks(self):
+        dataset = load_dataset("stocks")
+        assert dataset.shape == (381, 128)
+
+    def test_phone_numeric(self):
+        assert load_dataset("phone100").shape == (100, 366)
+
+    def test_phone_k_suffix(self):
+        dataset = load_dataset("phone1k")
+        assert dataset.shape == (1000, 366)
+        assert dataset.name == "phone1000"
+
+    def test_case_insensitive(self):
+        assert load_dataset("Phone100").shape == (100, 366)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("enron")
+
+    def test_malformed_phone_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("phone")
+
+    def test_names_listing_loads(self):
+        for name in dataset_names():
+            if "100K" in name or "5000" in name:
+                continue  # too slow for a unit test
+            assert load_dataset(name).matrix.size > 0
+
+
+class TestCaching:
+    def test_same_object_returned(self):
+        a = load_dataset("phone50")
+        b = load_dataset("phone50")
+        assert a is b
+
+    def test_clear_cache_regenerates(self):
+        a = load_dataset("phone50")
+        clear_cache()
+        b = load_dataset("phone50")
+        assert a is not b
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_phone_subsets_are_prefixes(self):
+        small = load_dataset("phone40").matrix
+        large = load_dataset("phone80").matrix
+        assert np.array_equal(small, large[:40])

@@ -1,0 +1,68 @@
+"""Tests for the synthetic stocks dataset generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import StocksConfig, stocks_matrix
+from repro.data.stocks import iter_stock_rows
+from repro.exceptions import DatasetError
+
+
+class TestShapeAndDeterminism:
+    def test_default_shape_matches_paper(self):
+        assert stocks_matrix().shape == (381, 128)
+
+    def test_deterministic(self):
+        assert np.array_equal(stocks_matrix(40), stocks_matrix(40))
+
+    def test_prefix_stable(self):
+        assert np.array_equal(stocks_matrix(30), stocks_matrix(90)[:30])
+
+    def test_iter_matches_matrix(self):
+        rows = list(iter_stock_rows(15))
+        assert np.array_equal(np.vstack(rows), stocks_matrix(15))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DatasetError):
+            stocks_matrix(0)
+        with pytest.raises(DatasetError):
+            stocks_matrix(5, StocksConfig(num_days=1))
+
+
+class TestStructuralProperties:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return stocks_matrix(200)
+
+    def test_prices_positive(self, matrix):
+        assert matrix.min() > 0.0
+
+    def test_heterogeneous_price_scales(self, matrix):
+        """Initial prices span an order of magnitude or more."""
+        first = matrix[:, 0]
+        assert first.max() / first.min() > 10.0
+
+    def test_market_factor_dominates(self, matrix):
+        """Fig. 11b: most stocks hug the first eigenvector.
+
+        The first principal component must explain far more energy than
+        the second (after removing scale via log-returns correlation).
+        """
+        singular = np.linalg.svd(matrix, compute_uv=False)
+        assert singular[0] ** 2 / (singular[1] ** 2) > 10.0
+
+    def test_returns_correlated_across_stocks(self, matrix):
+        """Correlated random walks: mean pairwise return correlation > 0."""
+        returns = np.diff(np.log(matrix), axis=1)
+        sample = returns[:40]
+        corr = np.corrcoef(sample)
+        off_diag = corr[np.triu_indices_from(corr, k=1)]
+        assert off_diag.mean() > 0.2
+
+    def test_random_walk_smoothness(self, matrix):
+        """Successive prices are highly correlated (why DCT does OK here)."""
+        x = matrix[:, :-1].ravel()
+        y = matrix[:, 1:].ravel()
+        assert np.corrcoef(x, y)[0, 1] > 0.95

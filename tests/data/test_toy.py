@@ -1,0 +1,44 @@
+"""Tests for the paper's Table 1 toy matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import TOY_COLUMNS, TOY_CUSTOMERS, toy_matrix
+
+
+class TestToyMatrix:
+    def test_shape_matches_table_1(self):
+        assert toy_matrix().shape == (len(TOY_CUSTOMERS), len(TOY_COLUMNS))
+
+    def test_exact_values(self):
+        matrix = toy_matrix()
+        # KLM Co. spends 5 on each weekday, nothing on weekends.
+        assert list(matrix[3]) == [5.0, 5.0, 5.0, 0.0, 0.0]
+        # Johnson spends 3 on each weekend day only.
+        assert list(matrix[5]) == [0.0, 0.0, 0.0, 3.0, 3.0]
+
+    def test_rank_is_two(self):
+        """The paper's key observation: two customer types => rank 2."""
+        assert np.linalg.matrix_rank(toy_matrix()) == 2
+
+    def test_gram_matrix_matches_paper(self):
+        """C = X^t X as printed below Lemma 3.2."""
+        matrix = toy_matrix()
+        gram = matrix.T @ matrix
+        expected = np.array(
+            [
+                [31, 31, 31, 0, 0],
+                [31, 31, 31, 0, 0],
+                [31, 31, 31, 0, 0],
+                [0, 0, 0, 14, 14],
+                [0, 0, 0, 14, 14],
+            ],
+            dtype=np.float64,
+        )
+        assert np.array_equal(gram, expected)
+
+    def test_returns_fresh_copy(self):
+        a = toy_matrix()
+        a[0, 0] = 99.0
+        assert toy_matrix()[0, 0] == 1.0

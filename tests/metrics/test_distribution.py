@@ -1,0 +1,107 @@
+"""Tests for error distributions and the streaming accumulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics import StreamingErrorAccumulator, error_distribution, rmspe
+from repro.metrics.errors import worst_case_error
+
+
+class TestErrorDistribution:
+    def test_sorted_descending(self, rng):
+        x = rng.standard_normal((10, 10))
+        x_hat = x + rng.standard_normal((10, 10))
+        dist = error_distribution(x, x_hat)
+        assert np.all(np.diff(dist) <= 0)
+        assert dist.size == 100
+
+    def test_top_truncation(self, rng):
+        x = rng.standard_normal((10, 10))
+        dist = error_distribution(x, x + 1.0, top=7)
+        assert dist.size == 7
+
+    def test_top_must_be_positive(self, rng):
+        x = np.ones((2, 2))
+        with pytest.raises(ConfigurationError):
+            error_distribution(x, x, top=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            error_distribution(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_heavy_tail_visible(self, rng):
+        """A matrix with few gross errors shows the Fig. 8 steep drop."""
+        x = rng.standard_normal((50, 50))
+        noise = rng.standard_normal((50, 50)) * 0.001
+        noise.ravel()[:10] = 50.0  # 10 gross outliers
+        dist = error_distribution(x, x + noise)
+        assert dist[9] / dist[10] > 100  # cliff between outliers and the rest
+
+
+class TestStreamingAccumulator:
+    def test_matches_direct_rmspe(self, rng):
+        x = rng.standard_normal((30, 8)) * 2 + 5
+        x_hat = x + rng.standard_normal((30, 8)) * 0.2
+        acc = StreamingErrorAccumulator()
+        for i in range(30):
+            acc.add_row(x[i], x_hat[i])
+        assert acc.rmspe() == pytest.approx(rmspe(x, x_hat))
+        assert acc.count == 240
+
+    def test_matches_direct_worst_case(self, rng):
+        x = rng.standard_normal((20, 6))
+        x_hat = x + rng.standard_normal((20, 6))
+        acc = StreamingErrorAccumulator()
+        for i in range(20):
+            acc.add_row(x[i], x_hat[i])
+        max_abs, normalized = worst_case_error(x, x_hat)
+        assert acc.max_abs_error() == pytest.approx(max_abs)
+        assert acc.max_normalized_error() == pytest.approx(normalized)
+
+    def test_empty_accumulator_raises(self):
+        acc = StreamingErrorAccumulator()
+        with pytest.raises(ShapeError):
+            acc.rmspe()
+        with pytest.raises(ShapeError):
+            acc.max_normalized_error()
+
+    def test_row_shape_mismatch(self):
+        acc = StreamingErrorAccumulator()
+        with pytest.raises(ShapeError):
+            acc.add_row(np.ones(3), np.ones(4))
+
+    def test_sum_squared_error(self):
+        acc = StreamingErrorAccumulator()
+        acc.add_row(np.array([1.0, 2.0]), np.array([2.0, 2.0]))
+        acc.add_row(np.array([0.0, 0.0]), np.array([0.0, 3.0]))
+        assert acc.sum_squared_error == pytest.approx(1.0 + 9.0)
+
+    def test_constant_data_edge_case(self):
+        acc = StreamingErrorAccumulator()
+        acc.add_row(np.array([5.0, 5.0]), np.array([5.0, 5.0]))
+        assert acc.rmspe() == 0.0
+        acc.add_row(np.array([5.0, 5.0]), np.array([6.0, 5.0]))
+        assert acc.rmspe() == np.inf
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(1, 20),
+    cols=st.integers(1, 10),
+)
+def test_property_streaming_equals_batch(seed, rows, cols):
+    sample_rng = np.random.default_rng(seed)
+    x = sample_rng.standard_normal((rows, cols)) * 3
+    x_hat = x + sample_rng.standard_normal((rows, cols))
+    acc = StreamingErrorAccumulator()
+    for i in range(rows):
+        acc.add_row(x[i], x_hat[i])
+    direct = rmspe(x, x_hat)
+    if np.isfinite(direct):
+        assert acc.rmspe() == pytest.approx(direct, rel=1e-9)

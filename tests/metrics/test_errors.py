@@ -1,0 +1,144 @@
+"""Tests for the scalar error measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.metrics import (
+    error_percentiles,
+    error_summary,
+    median_error,
+    query_error,
+    rmspe,
+    worst_case_error,
+)
+from repro.metrics.errors import data_std
+
+
+class TestRMSPE:
+    def test_perfect_reconstruction_is_zero(self, rng):
+        x = rng.standard_normal((10, 5))
+        assert rmspe(x, x) == 0.0
+
+    def test_hand_computed(self):
+        x = np.array([[0.0, 2.0]])  # mean 1, sum (x-mean)^2 = 2
+        x_hat = np.array([[1.0, 2.0]])  # error^2 sum = 1
+        assert rmspe(x, x_hat) == pytest.approx(np.sqrt(0.5))
+
+    def test_definition_5_1_formula(self, rng):
+        x = rng.standard_normal((8, 6)) * 3 + 2
+        x_hat = x + rng.standard_normal((8, 6)) * 0.1
+        expected = np.sqrt(((x_hat - x) ** 2).sum()) / np.sqrt(
+            ((x - x.mean()) ** 2).sum()
+        )
+        assert rmspe(x, x_hat) == pytest.approx(expected)
+
+    def test_constant_matrix_edge_cases(self):
+        x = np.full((3, 3), 7.0)
+        assert rmspe(x, x) == 0.0
+        assert rmspe(x, x + 1) == np.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            rmspe(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_scale_invariant(self, rng):
+        """Normalization makes RMSPE invariant to rescaling both inputs."""
+        x = rng.standard_normal((10, 4))
+        x_hat = x + rng.standard_normal((10, 4)) * 0.01
+        assert rmspe(x, x_hat) == pytest.approx(rmspe(x * 100, x_hat * 100))
+
+
+class TestWorstCase:
+    def test_hand_computed(self):
+        x = np.array([[0.0, 4.0]])
+        x_hat = np.array([[1.0, 4.0]])
+        max_abs, normalized = worst_case_error(x, x_hat)
+        assert max_abs == 1.0
+        assert normalized == pytest.approx(1.0 / 2.0)  # std of [0,4] is 2
+
+    def test_perfect_is_zero(self, rng):
+        x = rng.standard_normal((5, 5))
+        assert worst_case_error(x, x) == (0.0, 0.0)
+
+    def test_constant_matrix(self):
+        x = np.full((2, 2), 3.0)
+        max_abs, normalized = worst_case_error(x, x + 0.5)
+        assert max_abs == 0.5
+        assert normalized == np.inf
+
+
+class TestMedianAndPercentiles:
+    def test_median_below_max(self, rng):
+        x = rng.standard_normal((20, 20))
+        noise = rng.standard_normal((20, 20)) * 0.01
+        noise[0, 0] = 100.0  # one gross outlier
+        x_hat = x + noise
+        assert median_error(x, x_hat) < worst_case_error(x, x_hat)[0] / 100
+
+    def test_percentiles_monotone(self, rng):
+        x = rng.standard_normal((15, 15))
+        x_hat = x + rng.standard_normal((15, 15))
+        pct = error_percentiles(x, x_hat)
+        values = [pct[p] for p in sorted(pct)]
+        assert values == sorted(values)
+
+    def test_p100_is_max(self, rng):
+        x = rng.standard_normal((6, 6))
+        x_hat = x + rng.standard_normal((6, 6))
+        pct = error_percentiles(x, x_hat, percentiles=(100.0,))
+        assert pct[100.0] == pytest.approx(worst_case_error(x, x_hat)[0])
+
+
+class TestQueryError:
+    def test_exact_match(self):
+        assert query_error(10.0, 10.0) == 0.0
+
+    def test_relative(self):
+        assert query_error(100.0, 90.0) == pytest.approx(0.1)
+
+    def test_sign_insensitive(self):
+        assert query_error(-100.0, -110.0) == pytest.approx(0.1)
+
+    def test_zero_exact_answer(self):
+        assert query_error(0.0, 0.0) == 0.0
+        assert query_error(0.0, 1.0) == np.inf
+
+
+class TestErrorSummary:
+    def test_fields_consistent(self, rng):
+        x = rng.standard_normal((10, 10))
+        x_hat = x + rng.standard_normal((10, 10)) * 0.1
+        summary = error_summary(x, x_hat)
+        assert summary.rmspe == pytest.approx(rmspe(x, x_hat))
+        assert summary.max_abs_error == pytest.approx(worst_case_error(x, x_hat)[0])
+        assert summary.median_abs_error == pytest.approx(median_error(x, x_hat))
+        row = summary.as_row()
+        assert set(row) == {
+            "rmspe",
+            "max_abs_error",
+            "max_normalized_error",
+            "median_abs_error",
+        }
+
+
+class TestDataStd:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((9, 9)) * 5 + 1
+        assert data_std(x) == pytest.approx(float(x.std()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), scale=st.floats(0.0, 2.0))
+def test_property_rmspe_monotone_in_noise(seed, scale):
+    """More noise can never decrease RMSPE on the same data."""
+    sample_rng = np.random.default_rng(seed)
+    x = sample_rng.standard_normal((12, 7))
+    noise = sample_rng.standard_normal((12, 7))
+    small = rmspe(x, x + noise * scale)
+    large = rmspe(x, x + noise * (scale + 0.5))
+    assert large >= small - 1e-12

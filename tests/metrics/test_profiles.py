@@ -1,0 +1,91 @@
+"""Tests for per-row/per-column error profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SVDCompressor, SVDDCompressor
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.metrics.profiles import ErrorProfile, delta_coverage, error_profile
+
+
+@pytest.fixture(scope="module")
+def profile_inputs():
+    rng = np.random.default_rng(71)
+    x = rng.random((50, 20))
+    x_hat = x + rng.standard_normal((50, 20)) * 0.01
+    x_hat[7] += 5.0  # one terrible row
+    x_hat[:, 13] += 2.0  # one bad column
+    return x, x_hat
+
+
+class TestErrorProfile:
+    def test_shapes(self, profile_inputs):
+        x, x_hat = profile_inputs
+        profile = error_profile(x, x_hat)
+        assert profile.row_rms.shape == (50,)
+        assert profile.col_rms.shape == (20,)
+
+    def test_values_match_direct_computation(self, profile_inputs):
+        x, x_hat = profile_inputs
+        profile = error_profile(x, x_hat)
+        expected_row0 = float(np.sqrt(((x_hat[0] - x[0]) ** 2).mean()))
+        assert profile.row_rms[0] == pytest.approx(expected_row0)
+
+    def test_worst_rows_finds_planted(self, profile_inputs):
+        x, x_hat = profile_inputs
+        profile = error_profile(x, x_hat)
+        assert profile.worst_rows(1)[0] == 7
+
+    def test_worst_columns_finds_planted(self, profile_inputs):
+        x, x_hat = profile_inputs
+        profile = error_profile(x, x_hat)
+        assert profile.worst_columns(1)[0] == 13
+
+    def test_concentration_high_with_one_bad_row(self, profile_inputs):
+        x, x_hat = profile_inputs
+        profile = error_profile(x, x_hat)
+        assert profile.row_concentration(0.02) > 0.3
+
+    def test_concentration_low_for_uniform_noise(self, rng):
+        x = rng.random((100, 10))
+        x_hat = x + rng.standard_normal((100, 10)) * 0.01
+        profile = error_profile(x, x_hat)
+        assert profile.row_concentration(0.01) < 0.10
+
+    def test_zero_error_profile(self, rng):
+        x = rng.random((5, 5))
+        profile = error_profile(x, x)
+        assert profile.row_concentration() == 0.0
+        assert np.all(profile.row_rms == 0)
+
+    def test_validation(self, profile_inputs):
+        x, x_hat = profile_inputs
+        with pytest.raises(ShapeError):
+            error_profile(x, x_hat[:10])
+        profile = error_profile(x, x_hat)
+        with pytest.raises(ConfigurationError):
+            profile.worst_rows(0)
+        with pytest.raises(ConfigurationError):
+            profile.row_concentration(0.0)
+
+
+class TestDeltaCoverage:
+    def test_svdd_deltas_cover_worst_rows(self):
+        from repro.data import phone_matrix
+
+        data = phone_matrix(300)
+        svd = SVDCompressor(budget_fraction=0.10).fit(data)
+        svdd = SVDDCompressor(budget_fraction=0.10).fit(data)
+        # Profile the *plain* reconstruction: where SVD is weakest is
+        # exactly where SVDD should have spent its deltas.
+        profile = error_profile(data, svd.reconstruct())
+        coverage = delta_coverage(svdd, profile, count=20)
+        assert coverage > 0.7
+
+    def test_plain_svd_reports_zero_coverage(self, rng):
+        x = rng.random((40, 10))
+        svd = SVDCompressor(k=2).fit(x)
+        profile = error_profile(x, svd.reconstruct())
+        assert delta_coverage(svd, profile) == 0.0

@@ -1,0 +1,80 @@
+"""Tests for grouped aggregates (row/column totals, top-k rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SVDCompressor, SVDDCompressor
+from repro.exceptions import QueryError
+from repro.query import Selection, column_totals, row_totals, top_rows
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(63)
+    x = rng.random((120, 25)) * 10
+    x[7, 3] += 900.0  # outlier cell to exercise delta correction
+    return x
+
+
+@pytest.fixture(scope="module")
+def svdd(data):
+    model = SVDDCompressor(budget_fraction=0.25).fit(data)
+    assert model.num_deltas > 0
+    return model
+
+
+class TestExactBackend:
+    def test_row_totals_match_numpy(self, data):
+        totals = row_totals(data, Selection(cols=range(5)))
+        assert np.allclose(totals, data[:, :5].sum(axis=1))
+
+    def test_column_totals_match_numpy(self, data):
+        totals = column_totals(data, Selection(rows=range(30)))
+        assert np.allclose(totals, data[:30].sum(axis=0))
+
+    def test_sub_selection(self, data):
+        selection = Selection(rows=[2, 5, 8], cols=[1, 4])
+        assert np.allclose(
+            row_totals(data, selection),
+            data[np.ix_([2, 5, 8], [1, 4])].sum(axis=1),
+        )
+
+    def test_top_rows(self, data):
+        found = top_rows(data, 3)
+        expected = np.argsort(data.sum(axis=1))[::-1][:3]
+        assert list(found) == list(expected)
+
+    def test_top_rows_invalid_count(self, data):
+        with pytest.raises(QueryError):
+            top_rows(data, 0)
+
+
+class TestFactorBackend:
+    def test_row_totals_match_streaming(self, svdd):
+        fast = row_totals(svdd, Selection(cols=range(10)))
+        recon = svdd.reconstruct()
+        assert np.allclose(fast, recon[:, :10].sum(axis=1), atol=1e-8)
+
+    def test_column_totals_match_streaming(self, svdd):
+        fast = column_totals(svdd, Selection(rows=range(50)))
+        recon = svdd.reconstruct()
+        assert np.allclose(fast, recon[:50].sum(axis=0), atol=1e-8)
+
+    def test_delta_correction_applied(self, data, svdd):
+        """The 900-unit outlier must show up in its row's total."""
+        totals = row_totals(svdd, Selection(cols=[3]))
+        assert totals[7] == pytest.approx(data[7, 3], rel=0.05)
+
+    def test_plain_svd_backend(self, data):
+        model = SVDCompressor(budget_fraction=0.25).fit(data)
+        fast = row_totals(model)
+        assert np.allclose(fast, model.reconstruct().sum(axis=1), atol=1e-8)
+
+    def test_top_rows_identifies_whales(self, data, svdd):
+        """The factor path finds the same big customers as exact math
+        (approximately — it ranks by reconstructed totals)."""
+        approx_top = set(top_rows(svdd, 10).tolist())
+        exact_top = set(top_rows(data, 10).tolist())
+        assert len(approx_top & exact_top) >= 8

@@ -1,0 +1,142 @@
+"""Tests for the textual query language."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import AggregateQuery, CellQuery, QueryEngine, Selection, parse_query
+
+
+class TestCellSyntax:
+    def test_basic(self):
+        query = parse_query("cell(3, 5)")
+        assert query == CellQuery(3, 5)
+
+    def test_whitespace_and_case(self):
+        assert parse_query("  CELL ( 12 ,  7 )  ") == CellQuery(12, 7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("cell(-1, 5)")
+
+
+class TestAggregateSyntax:
+    def test_bare_function(self):
+        query = parse_query("sum()")
+        assert isinstance(query, AggregateQuery)
+        assert query.function == "sum"
+        assert query.selection.rows is None
+        assert query.selection.cols is None
+
+    def test_rows_range(self):
+        query = parse_query("avg() rows 0:100")
+        assert list(query.selection.resolve((200, 10))[0]) == list(range(100))
+
+    def test_rows_and_cols(self):
+        query = parse_query("stddev() rows 5:10 cols 2:4")
+        rows, cols = query.selection.resolve((20, 10))
+        assert list(rows) == [5, 6, 7, 8, 9]
+        assert list(cols) == [2, 3]
+
+    def test_index_list(self):
+        query = parse_query("max() rows 3,17,42")
+        rows, _ = query.selection.resolve((50, 5))
+        assert list(rows) == [3, 17, 42]
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("AVG() ROWS 0:5 COLS 1:3")
+        assert query.function == "avg"
+
+    def test_every_aggregate_parses(self):
+        for fn in ("sum", "avg", "count", "min", "max", "stddev"):
+            assert parse_query(f"{fn}()").function == fn
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "median()",  # unknown aggregate
+            "avg rows 0:5",  # missing parens
+            "avg() rows",  # dangling keyword
+            "avg() rows 5:5",  # empty range
+            "avg() rows 0:5:10",  # malformed range
+            "avg() rows a:b",  # non-numeric
+            "definitely not a query",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QueryError):
+            parse_query(text)
+
+
+class TestEndToEnd:
+    def test_parsed_query_executes(self, rng):
+        data = rng.random((30, 8))
+        engine = QueryEngine(data)
+        value = engine.aggregate(parse_query("sum() rows 0:10 cols 0:4")).value
+        assert value == pytest.approx(float(data[:10, :4].sum()))
+
+    def test_parsed_cell_executes(self, rng):
+        data = rng.random((30, 8))
+        engine = QueryEngine(data)
+        assert engine.cell(parse_query("cell(3, 5)")).value == data[3, 5]
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.parser import format_query
+
+
+class TestFormatQuery:
+    def test_cell(self):
+        assert format_query(CellQuery(3, 5)) == "cell(3, 5)"
+
+    def test_aggregate_with_ranges(self):
+        query = AggregateQuery(
+            "avg", Selection(rows=range(0, 100), cols=range(7, 14))
+        )
+        assert format_query(query) == "avg() rows 0:100 cols 7:14"
+
+    def test_bare(self):
+        assert format_query(AggregateQuery("sum", Selection())) == "sum()"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    function=st.sampled_from(["sum", "avg", "count", "min", "max", "stddev"]),
+    row_spec=st.one_of(
+        st.none(),
+        st.tuples(st.integers(0, 50), st.integers(1, 50)),
+        st.lists(st.integers(0, 99), min_size=1, max_size=8, unique=True),
+    ),
+    col_spec=st.one_of(
+        st.none(),
+        st.tuples(st.integers(0, 50), st.integers(1, 50)),
+    ),
+)
+def test_property_format_parse_roundtrip(function, row_spec, col_spec):
+    """format -> parse resolves to the same cells on a 100 x 100 matrix."""
+
+    def to_selection_arg(spec):
+        if spec is None:
+            return None
+        if isinstance(spec, tuple):
+            start, length = spec
+            return range(start, start + length)
+        return spec
+
+    original = AggregateQuery(
+        function,
+        Selection(rows=to_selection_arg(row_spec), cols=to_selection_arg(col_spec)),
+    )
+    recovered = parse_query(format_query(original))
+    assert recovered.function == original.function
+    shape = (100, 100)
+    orig_rows, orig_cols = original.selection.resolve(shape)
+    rec_rows, rec_cols = recovered.selection.resolve(shape)
+    assert orig_rows.tolist() == rec_rows.tolist()
+    assert orig_cols.tolist() == rec_cols.tolist()

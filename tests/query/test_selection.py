@@ -1,0 +1,69 @@
+"""Tests for row/column selections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import Selection
+
+
+class TestResolve:
+    def test_explicit_indices(self):
+        selection = Selection(rows=[3, 1, 1], cols=[0, 2])
+        rows, cols = selection.resolve((5, 4))
+        assert list(rows) == [1, 3]  # sorted, deduplicated
+        assert list(cols) == [0, 2]
+
+    def test_all_rows_and_cols(self):
+        rows, cols = Selection().resolve((3, 2))
+        assert list(rows) == [0, 1, 2]
+        assert list(cols) == [0, 1]
+
+    def test_slice_selection(self):
+        rows, cols = Selection(rows=slice(1, 4), cols=slice(None)).resolve((6, 3))
+        assert list(rows) == [1, 2, 3]
+        assert list(cols) == [0, 1, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(rows=[10]).resolve((5, 5))
+        with pytest.raises(QueryError):
+            Selection(cols=[-1]).resolve((5, 5))
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(rows=[]).resolve((5, 5))
+
+    def test_cell_count(self):
+        selection = Selection(rows=[0, 1], cols=[0, 1, 2])
+        assert selection.cell_count((10, 10)) == 6
+
+
+class TestRandom:
+    def test_covers_about_target_fraction(self):
+        rng = np.random.default_rng(0)
+        shape = (1000, 366)
+        fractions = [
+            Selection.random(shape, 0.10, rng).cell_count(shape) / (1000 * 366)
+            for _ in range(20)
+        ]
+        assert 0.05 < float(np.mean(fractions)) < 0.15
+
+    def test_small_fraction_still_non_empty(self):
+        rng = np.random.default_rng(1)
+        selection = Selection.random((50, 20), 0.001, rng)
+        assert selection.cell_count((50, 20)) >= 1
+
+    def test_invalid_fraction(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(QueryError):
+            Selection.random((5, 5), 0.0, rng)
+        with pytest.raises(QueryError):
+            Selection.random((5, 5), 1.5, rng)
+
+    def test_deterministic_given_rng_state(self):
+        a = Selection.random((100, 50), 0.1, np.random.default_rng(7))
+        b = Selection.random((100, 50), 0.1, np.random.default_rng(7))
+        assert a.resolve((100, 50))[0].tolist() == b.resolve((100, 50))[0].tolist()

@@ -1,0 +1,92 @@
+"""Tests for CSV import/export of matrix stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.storage import MatrixStore, matrix_store_from_csv, matrix_store_to_csv
+
+
+@pytest.fixture()
+def matrix(rng):
+    return np.round(rng.random((25, 6)) * 100, 4)
+
+
+class TestImport:
+    def test_roundtrip(self, tmp_path, matrix):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text(
+            "\n".join(",".join(f"{v:.4f}" for v in row) for row in matrix) + "\n"
+        )
+        store = matrix_store_from_csv(csv_path, tmp_path / "data.mat")
+        assert np.allclose(store.read_all(), matrix)
+        store.close()
+
+    def test_header_skipped(self, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text("day1,day2\n1.5,2.5\n3.5,4.5\n")
+        store = matrix_store_from_csv(
+            csv_path, tmp_path / "data.mat", skip_header=True
+        )
+        assert store.shape == (2, 2)
+        assert store.cell(1, 1) == 4.5
+        store.close()
+
+    def test_custom_delimiter(self, tmp_path):
+        csv_path = tmp_path / "data.tsv"
+        csv_path.write_text("1\t2\n3\t4\n")
+        store = matrix_store_from_csv(csv_path, tmp_path / "d.mat", delimiter="\t")
+        assert store.cell(1, 0) == 3.0
+        store.close()
+
+    def test_ragged_line_rejected_with_line_number(self, tmp_path):
+        csv_path = tmp_path / "bad.csv"
+        csv_path.write_text("1,2\n3,4,5\n")
+        with pytest.raises(DatasetError, match=":2:"):
+            matrix_store_from_csv(csv_path, tmp_path / "bad.mat")
+
+    def test_non_numeric_rejected(self, tmp_path):
+        csv_path = tmp_path / "bad.csv"
+        csv_path.write_text("1,2\n3,oops\n")
+        with pytest.raises(DatasetError, match=":2:"):
+            matrix_store_from_csv(csv_path, tmp_path / "bad.mat")
+
+    def test_empty_file_rejected(self, tmp_path):
+        csv_path = tmp_path / "empty.csv"
+        csv_path.write_text("")
+        with pytest.raises(DatasetError, match="no data rows"):
+            matrix_store_from_csv(csv_path, tmp_path / "e.mat")
+
+    def test_blank_lines_skipped(self, tmp_path):
+        csv_path = tmp_path / "data.csv"
+        csv_path.write_text("1,2\n\n3,4\n")
+        store = matrix_store_from_csv(csv_path, tmp_path / "d.mat")
+        assert store.shape == (2, 2)
+        store.close()
+
+
+class TestExport:
+    def test_roundtrip_back_to_csv(self, tmp_path, matrix):
+        store = MatrixStore.create(tmp_path / "m.mat", matrix)
+        count = matrix_store_to_csv(store, tmp_path / "out.csv")
+        assert count == 25
+        reimported = matrix_store_from_csv(tmp_path / "out.csv", tmp_path / "m2.mat")
+        assert np.allclose(reimported.read_all(), matrix)
+        reimported.close()
+        store.close()
+
+    def test_header_written(self, tmp_path, matrix):
+        store = MatrixStore.create(tmp_path / "m.mat", matrix)
+        header = [f"day{i}" for i in range(6)]
+        matrix_store_to_csv(store, tmp_path / "out.csv", header=header)
+        first = (tmp_path / "out.csv").read_text().splitlines()[0]
+        assert first == ",".join(header)
+        store.close()
+
+    def test_header_length_checked(self, tmp_path, matrix):
+        store = MatrixStore.create(tmp_path / "m.mat", matrix)
+        with pytest.raises(DatasetError):
+            matrix_store_to_csv(store, tmp_path / "out.csv", header=["only-one"])
+        store.close()

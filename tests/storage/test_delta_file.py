@@ -1,0 +1,88 @@
+"""Tests for the serialized delta table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ChecksumError, FormatError
+from repro.storage import DeltaFile
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "d.bin"
+        records = [(5, 1.5), (100, -2.25), (7, 0.125)]
+        assert DeltaFile.write(path, records) == 3
+        table = DeltaFile.read(path)
+        assert len(table) == 3
+        assert table.get(5) == 1.5
+        assert table.get(100) == -2.25
+        assert table.get(7) == 0.125
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "d.bin"
+        assert DeltaFile.write(path, []) == 0
+        assert len(DeltaFile.read(path)) == 0
+
+    def test_canonical_bytes(self, tmp_path):
+        """Same record set in any order -> byte-identical files."""
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        DeltaFile.write(a, [(1, 1.0), (2, 2.0), (3, 3.0)])
+        DeltaFile.write(b, [(3, 3.0), (1, 1.0), (2, 2.0)])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_size_matches_prediction(self, tmp_path):
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(i, float(i)) for i in range(37)])
+        assert path.stat().st_size == DeltaFile.size_bytes(37)
+
+
+class TestCorruption:
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "d.bin"
+        path.write_bytes(b"short")
+        with pytest.raises(FormatError):
+            DeltaFile.read(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(1, 1.0)])
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(FormatError):
+            DeltaFile.read(path)
+
+    def test_truncated_records(self, tmp_path):
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(1, 1.0), (2, 2.0)])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(FormatError):
+            DeltaFile.read(path)
+
+    def test_flipped_record_bit(self, tmp_path):
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(1, 1.0), (2, 2.0)])
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ChecksumError):
+            DeltaFile.read(path)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    records=st.dictionaries(
+        keys=st.integers(0, 2**40),
+        values=st.floats(allow_nan=False, allow_infinity=False),
+        max_size=60,
+    )
+)
+def test_property_roundtrip(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("deltas") / "d.bin"
+    DeltaFile.write(path, records.items())
+    table = DeltaFile.read(path)
+    assert dict(table.items()) == records

@@ -1,0 +1,102 @@
+"""Tests for the vectorized TopKBuffer (SVDD's batch priority queue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.structures import BoundedTopHeap, TopKBuffer
+
+
+def offer_all(buf: TopKBuffer, values: np.ndarray) -> None:
+    keys = np.arange(values.shape[0], dtype=np.int64)
+    buf.offer(keys, values, np.abs(values))
+
+
+class TestBasics:
+    def test_retains_top_by_absolute_score(self):
+        buf = TopKBuffer(3)
+        offer_all(buf, np.array([1.0, -9.0, 4.0, -2.0, 8.0]))
+        keys, values, scores = buf.finalize()
+        assert list(scores) == [9.0, 8.0, 4.0]
+        assert list(values) == [-9.0, 8.0, 4.0]
+        assert list(keys) == [1, 4, 2]
+
+    def test_zero_capacity(self):
+        buf = TopKBuffer(0)
+        offer_all(buf, np.arange(10.0))
+        keys, values, scores = buf.finalize()
+        assert keys.size == values.size == scores.size == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopKBuffer(-1)
+
+    def test_fewer_items_than_capacity(self):
+        buf = TopKBuffer(100)
+        offer_all(buf, np.array([3.0, 1.0]))
+        keys, values, scores = buf.finalize()
+        assert keys.size == 2
+
+    def test_threshold_rises_after_compaction(self):
+        buf = TopKBuffer(5)
+        assert buf.threshold == -np.inf
+        offer_all(buf, np.linspace(1, 100, 100))
+        buf.finalize()
+        assert buf.threshold >= 95.0
+
+    def test_many_batches(self):
+        buf = TopKBuffer(10)
+        rng = np.random.default_rng(1)
+        seen = []
+        for batch in range(20):
+            values = rng.standard_normal(137)
+            keys = np.arange(batch * 1000, batch * 1000 + 137, dtype=np.int64)
+            buf.offer(keys, values, np.abs(values))
+            seen.extend(values.tolist())
+        _, _, scores = buf.finalize()
+        expected = np.sort(np.abs(seen))[::-1][:10]
+        assert np.allclose(np.sort(scores)[::-1], expected)
+
+    def test_retained_score_sq_sum(self):
+        buf = TopKBuffer(2)
+        offer_all(buf, np.array([3.0, -4.0, 1.0]))
+        assert buf.retained_score_sq_sum() == pytest.approx(25.0)
+
+    def test_finalize_sorted_desc_then_key(self):
+        buf = TopKBuffer(4)
+        buf.offer(
+            np.array([9, 3, 7, 1], dtype=np.int64),
+            np.array([5.0, 5.0, 2.0, 8.0]),
+            np.array([5.0, 5.0, 2.0, 8.0]),
+        )
+        keys, _, scores = buf.finalize()
+        assert list(scores) == [8.0, 5.0, 5.0, 2.0]
+        assert list(keys) == [1, 3, 9, 7]  # ties ordered by key
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    total=st.integers(1, 500),
+    capacity=st.integers(0, 40),
+    batch=st.integers(1, 64),
+)
+def test_property_equivalent_to_heap(seed, total, capacity, batch):
+    """TopKBuffer retains the same score multiset as the reference heap."""
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(total)
+    buf = TopKBuffer(capacity)
+    heap = BoundedTopHeap(capacity)
+    for start in range(0, total, batch):
+        chunk = values[start : start + batch]
+        keys = np.arange(start, start + chunk.shape[0], dtype=np.int64)
+        buf.offer(keys, chunk, np.abs(chunk))
+    for value in values:
+        heap.push(abs(value))
+    _, _, scores = buf.finalize()
+    heap_scores = [item.key for item in heap.items_descending()]
+    assert np.allclose(np.sort(scores), np.sort(heap_scores))

@@ -1,0 +1,189 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import _parse_range, main
+from repro.core import CompressedMatrix
+from repro.storage import MatrixStore
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    out = root / "model"
+    code = main(
+        ["build", "--dataset", "phone150", "--budget", "0.10", "--out", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+class TestParseRange:
+    def test_full(self):
+        assert _parse_range(":", 10) == range(10)
+
+    def test_bounded(self):
+        assert _parse_range("2:5", 10) == range(2, 5)
+
+    def test_open_ended(self):
+        assert _parse_range("3:", 10) == range(3, 10)
+        assert _parse_range(":4", 10) == range(0, 4)
+
+    def test_single_index(self):
+        assert _parse_range("7", 10) == range(7, 8)
+
+
+class TestBuild:
+    def test_model_directory_created(self, model_dir):
+        with CompressedMatrix.open(model_dir) as store:
+            assert store.shape == (150, 366)
+
+    def test_build_from_matrix_store(self, tmp_path, rng):
+        matrix = rng.random((60, 20))
+        MatrixStore.create(tmp_path / "raw.mat", matrix).close()
+        code = main(
+            [
+                "build",
+                "--input",
+                str(tmp_path / "raw.mat"),
+                "--budget",
+                "0.20",
+                "--out",
+                str(tmp_path / "m"),
+            ]
+        )
+        assert code == 0
+        with CompressedMatrix.open(tmp_path / "m") as store:
+            assert store.shape == (60, 20)
+
+    def test_unknown_dataset_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["build", "--dataset", "nope", "--out", str(tmp_path / "x")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQueries:
+    def test_info(self, model_dir, capsys):
+        assert main(["info", str(model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "150 x 366" in out
+        assert "principal components" in out
+
+    def test_cell(self, model_dir, capsys):
+        assert main(["cell", str(model_dir), "10", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "cell (10, 100)" in out
+        assert "disk accesses: 1" in out
+
+    def test_cell_matches_library(self, model_dir, capsys):
+        main(["cell", str(model_dir), "5", "5"])
+        printed = float(capsys.readouterr().out.split("=")[1].split("\n")[0])
+        with CompressedMatrix.open(model_dir) as store:
+            assert printed == pytest.approx(store.cell(5, 5), rel=1e-4, abs=1e-4)
+
+    def test_aggregate(self, model_dir, capsys):
+        code = main(
+            [
+                "aggregate",
+                str(model_dir),
+                "--function",
+                "avg",
+                "--rows",
+                "0:50",
+                "--cols",
+                "0:30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg(" in out
+        assert "1500 cells" in out
+
+    def test_aggregate_bad_function(self, model_dir, capsys):
+        assert main(["aggregate", str(model_dir), "--function", "median"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cell_out_of_range(self, model_dir, capsys):
+        assert main(["cell", str(model_dir), "9999", "0"]) == 1
+
+
+class TestScatterAndDatasets:
+    def test_scatter(self, capsys):
+        assert main(["scatter", "phone100", "--width", "40", "--height", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "PC1" in out
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "stocks" in out and "phone2000" in out
+
+
+class TestQueryAndVerifyCommands:
+    def test_query_aggregate(self, model_dir, capsys):
+        assert main(["query", str(model_dir), "avg() rows 0:50 cols 0:30"]) == 0
+        out = capsys.readouterr().out
+        assert "avg() rows 0:50 cols 0:30 =" in out
+        assert "1500" in out  # cells touched
+
+    def test_query_cell(self, model_dir, capsys):
+        assert main(["query", str(model_dir), "cell(10, 100)"]) == 0
+        assert "cell(10, 100) =" in capsys.readouterr().out
+
+    def test_query_bad_syntax(self, model_dir, capsys):
+        assert main(["query", str(model_dir), "fetch everything"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_against_dataset(self, model_dir, capsys):
+        assert main(["verify", str(model_dir), "--dataset", "phone150"]) == 0
+        out = capsys.readouterr().out
+        assert "RMSPE" in out
+        assert "HOLDS" in out
+
+    def test_verify_against_wrong_dataset_fails(self, model_dir, capsys):
+        # Different data -> certified bound violated -> nonzero exit.
+        code = main(["verify", str(model_dir), "--dataset", "stocks"])
+        assert code == 1
+
+
+class TestWarehouseCommands:
+    @pytest.fixture()
+    def root(self, tmp_path):
+        return str(tmp_path / "wh")
+
+    def test_ingest_list_verify_drop_cycle(self, root, capsys):
+        assert main(
+            ["wh-ingest", "--root", root, "--name", "calls",
+             "--dataset", "phone80", "--budget", "0.15"]
+        ) == 0
+        assert "ingested calls" in capsys.readouterr().out
+
+        assert main(["wh-list", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "calls: 80x366" in out
+        assert "RMSPE=" in out
+
+        assert main(["wh-verify", "--root", root, "calls"]) == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+        assert main(["wh-drop", "--root", root, "calls"]) == 0
+        main(["wh-list", "--root", root])
+        assert "(empty warehouse)" in capsys.readouterr().out
+
+    def test_duplicate_ingest_fails(self, root, capsys):
+        main(["wh-ingest", "--root", root, "--name", "a", "--dataset", "phone40"])
+        capsys.readouterr()
+        assert main(
+            ["wh-ingest", "--root", root, "--name", "a", "--dataset", "phone40"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_unknown_name_fails(self, root, capsys):
+        main(["wh-ingest", "--root", root, "--name", "a", "--dataset", "phone40"])
+        capsys.readouterr()
+        assert main(["wh-verify", "--root", root, "nope"]) == 1

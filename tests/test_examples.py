@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are deliverables; this keeps them from rotting.  Each runs
+in a subprocess at reduced scale where the script supports it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: (script, extra argv) — sized to keep the whole module under ~2 min.
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("phone_warehouse.py", ["400"]),
+    ("stock_analysis.py", []),
+    ("datacube_sales.py", []),
+    ("visualization.py", []),
+    ("robust_and_updates.py", []),
+    ("patient_records.py", []),
+    ("warehouse_analytics.py", []),
+    ("text_retrieval.py", []),
+]
+
+
+@pytest.mark.parametrize("script,argv", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, argv):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert "done." in result.stdout
+
+
+def test_every_example_file_is_covered():
+    """Adding an example without wiring it here should fail loudly."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _argv in EXAMPLES}
+    assert on_disk == covered
