@@ -13,6 +13,7 @@
 """
 
 from repro.core.build import build_compressed, estimate_build_memory
+from repro.core.delta_index import DeltaIndex
 from repro.core.model import SVDDModel, SVDModel, cell_key
 from repro.core.robust import RobustSVDCompressor, RobustSVDDCompressor
 from repro.core.streaming import append_rows, project_rows, subspace_residual
@@ -45,6 +46,7 @@ __all__ = [
     "RobustSVDDCompressor",
     "CompressedMatrix",
     "DELTA_RECORD_BYTES",
+    "DeltaIndex",
     "SVDCompressor",
     "NaiveSVDDCompressor",
     "SVDDCompressor",

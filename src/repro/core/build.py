@@ -148,6 +148,7 @@ def build_compressed(
         "cutoff": k_opt,
         "num_deltas": num_deltas,
         "bloom": fitter.use_bloom,
+        "bloom_fpr": fitter.bloom_fpr if fitter.use_bloom else None,
         "zero_rows": len(zero_rows),
         "bytes_per_value": bytes_per_value,
     }

@@ -1,0 +1,200 @@
+"""Vectorized index over the SVDD outlier-delta set.
+
+The paper stores outlier cells in a hash table keyed by ``row*M + col``
+(Section 4.2), which is ideal for the single-cell probe but forces every
+range or aggregate query to walk the whole table in Python.  A
+:class:`DeltaIndex` is the query-side companion structure: the same
+``(key, delta)`` records held as *sorted parallel NumPy arrays*, so
+
+- a batch of cell keys resolves with one :func:`numpy.searchsorted`
+  (``lookup``),
+- the deltas of one row occupy a contiguous slice found by bisecting the
+  key range ``[row*M, (row+1)*M)`` (``for_row``),
+- the deltas of one column come from a lazily built column-sorted
+  permutation (``for_col``), and
+- the deltas falling inside an arbitrary row x column selection are
+  located — with their positions *within* the selection — entirely in
+  vector code (``select``), which is what lets
+  :meth:`~repro.core.store.CompressedMatrix.reconstruct_range` and the
+  factor-space aggregate fast path fold corrections in O(d log n)
+  instead of a Python scan over every stored delta.
+
+Keys are unique (one delta per cell), so fancy-indexed ``+=`` folding is
+safe without ``np.add.at``.  The index is immutable; rebuilding it costs
+one argsort and is only done at model-open time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _positions_in(selection: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Position of each target within ``selection``, or -1 when absent.
+
+    ``selection`` is an arbitrary (possibly unsorted) index array; for
+    duplicated selection entries the first occurrence wins.
+    """
+    selection = np.asarray(selection, dtype=np.int64)
+    if selection.size == 0 or targets.size == 0:
+        return np.full(targets.shape, -1, dtype=np.int64)
+    order = np.argsort(selection, kind="stable")
+    sorted_sel = selection[order]
+    pos = np.searchsorted(sorted_sel, targets)
+    clipped = np.minimum(pos, sorted_sel.size - 1)
+    found = (pos < sorted_sel.size) & (sorted_sel[clipped] == targets)
+    return np.where(found, order[clipped], -1)
+
+
+class DeltaIndex:
+    """Immutable sorted-array view of an outlier-delta set.
+
+    Args:
+        keys: cell keys ``row * num_cols + col`` (need not be sorted).
+        values: the delta for each key, aligned with ``keys``.
+        num_cols: ``M`` of the matrix the keys address.
+    """
+
+    def __init__(self, keys, values, num_cols: int) -> None:
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if keys.shape != values.shape:
+            raise ConfigurationError(
+                f"keys and values must align, got {keys.shape} vs {values.shape}"
+            )
+        if num_cols < 1:
+            raise ConfigurationError(f"num_cols must be >= 1, got {num_cols}")
+        order = np.argsort(keys, kind="stable")
+        self._keys = np.ascontiguousarray(keys[order])
+        self._values = np.ascontiguousarray(values[order])
+        self._num_cols = int(num_cols)
+        self._rows = self._keys // self._num_cols
+        self._cols = self._keys % self._num_cols
+        self._col_order: np.ndarray | None = None  # built on first for_col
+
+    @classmethod
+    def from_items(cls, items: Iterable[tuple[int, float]], num_cols: int) -> "DeltaIndex":
+        """Build from ``(key, delta)`` pairs (hash-table ``items()``, dicts)."""
+        pairs = list(items)
+        if not pairs:
+            return cls(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), num_cols
+            )
+        keys, values = zip(*pairs)
+        return cls(np.asarray(keys), np.asarray(values), num_cols)
+
+    # -- geometry -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def num_cols(self) -> int:
+        return self._num_cols
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Sorted cell keys (read-only view)."""
+        return self._keys
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Row of each stored delta, aligned with :attr:`keys`."""
+        return self._rows
+
+    @property
+    def cols(self) -> np.ndarray:
+        """Column of each stored delta, aligned with :attr:`keys`."""
+        return self._cols
+
+    @property
+    def values(self) -> np.ndarray:
+        """Delta of each key, aligned with :attr:`keys`."""
+        return self._values
+
+    def size_bytes(self) -> int:
+        """In-memory footprint of the key/row/col/value arrays."""
+        return int(
+            self._keys.nbytes
+            + self._values.nbytes
+            + self._rows.nbytes
+            + self._cols.nbytes
+        )
+
+    # -- hash-table-compatible scalar access --------------------------------
+
+    def get(self, key: int, default: float = 0.0) -> float:
+        """Value for one cell key, or ``default`` when not stored."""
+        pos = int(np.searchsorted(self._keys, key))
+        if pos < self._keys.size and self._keys[pos] == key:
+            return float(self._values[pos])
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        pos = int(np.searchsorted(self._keys, key))
+        return pos < self._keys.size and self._keys[pos] == key
+
+    def items(self) -> Iterator[tuple[int, float]]:
+        """Iterate ``(key, delta)`` in key order."""
+        for key, value in zip(self._keys, self._values):
+            yield int(key), float(value)
+
+    # -- vectorized access ----------------------------------------------------
+
+    def lookup(self, keys) -> np.ndarray:
+        """Delta for each key in a batch (0.0 where no delta is stored)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.zeros(keys.shape, dtype=np.float64)
+        if self._keys.size == 0 or keys.size == 0:
+            return out
+        pos = np.searchsorted(self._keys, keys)
+        clipped = np.minimum(pos, self._keys.size - 1)
+        found = (pos < self._keys.size) & (self._keys[clipped] == keys)
+        out[found] = self._values[clipped[found]]
+        return out
+
+    def for_row(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(cols, deltas)`` stored for one row — a contiguous key slice."""
+        lo = np.searchsorted(self._keys, row * self._num_cols)
+        hi = np.searchsorted(self._keys, (row + 1) * self._num_cols)
+        return self._cols[lo:hi], self._values[lo:hi]
+
+    def for_col(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, deltas)`` stored for one column."""
+        if self._col_order is None:
+            self._col_order = np.lexsort((self._rows, self._cols))
+        by_col = self._cols[self._col_order]
+        lo = np.searchsorted(by_col, col)
+        hi = np.searchsorted(by_col, col + 1)
+        picked = self._col_order[lo:hi]
+        return self._rows[picked], self._values[picked]
+
+    def select(
+        self, row_sel, col_sel
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Deltas inside the rectangle ``row_sel x col_sel``.
+
+        Returns ``(row_pos, col_pos, rows, cols, values)`` where
+        ``row_pos``/``col_pos`` index into the *selection arrays* (which
+        may be unsorted) — ready for ``out[row_pos, col_pos] += values``
+        folding into a reconstructed block.
+        """
+        row_sel = np.asarray(row_sel, dtype=np.int64)
+        col_sel = np.asarray(col_sel, dtype=np.int64)
+        if self._keys.size == 0 or row_sel.size == 0 or col_sel.size == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i, empty_i, empty_i, np.empty(0, dtype=np.float64)
+        row_pos = _positions_in(row_sel, self._rows)
+        col_pos = _positions_in(col_sel, self._cols)
+        inside = (row_pos >= 0) & (col_pos >= 0)
+        return (
+            row_pos[inside],
+            col_pos[inside],
+            self._rows[inside],
+            self._cols[inside],
+            self._values[inside],
+        )

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import space
+from repro.core.delta_index import DeltaIndex
 from repro.exceptions import ConfigurationError, QueryError, ShapeError
 from repro.structures.bloom import BloomFilter
 from repro.structures.hashtable import OpenAddressingTable
@@ -90,6 +91,36 @@ class SVDModel:
         if not 0 <= col < self.num_cols:
             raise QueryError(f"col {col} out of range [0, {self.num_cols})")
         return self.u @ (self.eigenvalues * self.v[col])
+
+    def _check_selection(self, row_idx: np.ndarray, col_idx: np.ndarray) -> None:
+        if row_idx.size == 0 or col_idx.size == 0:
+            raise QueryError("selection must be non-empty")
+        if row_idx.min() < 0 or row_idx.max() >= self.num_rows:
+            raise QueryError(f"row selection outside [0, {self.num_rows})")
+        if col_idx.min() < 0 or col_idx.max() >= self.num_cols:
+            raise QueryError(f"col selection outside [0, {self.num_cols})")
+
+    def reconstruct_range(self, rows, cols) -> np.ndarray:
+        """Reconstruct the submatrix ``rows x cols`` in one GEMM."""
+        row_idx = np.asarray(list(rows), dtype=np.int64)
+        col_idx = np.asarray(list(cols), dtype=np.int64)
+        self._check_selection(row_idx, col_idx)
+        return (self.u[row_idx] * self.eigenvalues) @ self.v[col_idx].T
+
+    def reconstruct_cells(self, rows, cols) -> np.ndarray:
+        """Reconstruct the cells ``(rows[i], cols[i])`` in one einsum."""
+        row_idx = np.asarray(rows, dtype=np.int64).ravel()
+        col_idx = np.asarray(cols, dtype=np.int64).ravel()
+        if row_idx.shape != col_idx.shape:
+            raise QueryError(
+                f"rows and cols must align, got {row_idx.size} vs {col_idx.size}"
+            )
+        if row_idx.size == 0:
+            return np.empty(0)
+        self._check_selection(row_idx, col_idx)
+        return np.einsum(
+            "ik,ik->i", self.u[row_idx] * self.eigenvalues, self.v[col_idx]
+        )
 
     def reconstruct(self) -> np.ndarray:
         """Materialize the full rank-k approximation (Eq. 8)."""
@@ -189,26 +220,67 @@ class SVDDModel:
         self.stats["table_probes"] += 1
         return self.deltas.get(key, 0.0)
 
+    @property
+    def delta_index(self) -> DeltaIndex:
+        """Sorted-array view of the delta table for vectorized queries.
+
+        Built lazily from the hash table and memoized; rebuilt if the
+        table's size changes (the off-line update path replaces models
+        wholesale, so size is a sufficient staleness signal).
+        """
+        cached = getattr(self, "_delta_index_cache", None)
+        if cached is None or cached[0] != len(self.deltas):
+            index = DeltaIndex.from_items(self.deltas.items(), self.num_cols)
+            object.__setattr__(self, "_delta_index_cache", (len(self.deltas), index))
+            return index
+        return cached[1]
+
     def reconstruct_cell(self, row: int, col: int) -> float:
         """SVD estimate plus exact delta correction for outliers."""
         base = self.svd.reconstruct_cell(row, col)
         return base + self._delta_for(row, col)
 
     def reconstruct_row(self, row: int) -> np.ndarray:
-        """Reconstruct one row, applying any stored delta corrections."""
+        """Reconstruct one row, applying any stored delta corrections.
+
+        The row's corrections come from one bisection of the sorted
+        delta index instead of M per-cell probes.
+        """
         out = self.svd.reconstruct_row(row)
-        for col in range(self.num_cols):
-            delta = self._delta_for(row, col)
-            if delta:
-                out[col] += delta
+        delta_cols, delta_values = self.delta_index.for_row(row)
+        out[delta_cols] += delta_values
+        return out
+
+    def reconstruct_range(self, rows, cols) -> np.ndarray:
+        """Reconstruct the submatrix ``rows x cols``, deltas folded in."""
+        out = self.svd.reconstruct_range(rows, cols)
+        index = self.delta_index
+        if len(index) > 0:
+            row_pos, col_pos, _r, _c, values = index.select(
+                np.asarray(list(rows), dtype=np.int64),
+                np.asarray(list(cols), dtype=np.int64),
+            )
+            out[row_pos, col_pos] += values
+        return out
+
+    def reconstruct_cells(self, rows, cols) -> np.ndarray:
+        """Reconstruct the cells ``(rows[i], cols[i])``, deltas folded in."""
+        out = self.svd.reconstruct_cells(rows, cols)
+        index = self.delta_index
+        if len(index) > 0 and out.size > 0:
+            keys = (
+                np.asarray(rows, dtype=np.int64).ravel() * self.num_cols
+                + np.asarray(cols, dtype=np.int64).ravel()
+            )
+            out = out + index.lookup(keys)
         return out
 
     def reconstruct(self) -> np.ndarray:
         """Materialize the delta-corrected approximation."""
         out = self.svd.reconstruct()
-        cols = self.num_cols
-        for key, delta in self.deltas.items():
-            out[key // cols, key % cols] += delta
+        index = self.delta_index
+        if len(index) > 0:
+            out[index.rows, index.cols] += index.values
         return out
 
     def space_bytes(self, bytes_per_value: int = space.BYTES_PER_VALUE) -> int:

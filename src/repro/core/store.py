@@ -31,11 +31,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import space
+from repro.core.delta_index import DeltaIndex
 from repro.core.model import SVDDModel, SVDModel, cell_key
 from repro.exceptions import FormatError, QueryError
 from repro.storage.delta_file import DeltaFile
 from repro.storage.matrix_store import MatrixStore
 from repro.structures.bloom import BloomFilter
+
+#: Bloom FPR assumed for model directories written before the rate was
+#: persisted in ``meta.json``.
+_BLOOM_FPR_DEFAULT = 0.01
 
 _META_NAME = "meta.json"
 _U_NAME = "u.mat"
@@ -68,7 +73,7 @@ class CompressedMatrix:
         u_store: MatrixStore,
         eigenvalues: np.ndarray,
         v: np.ndarray,
-        deltas,
+        deltas: DeltaIndex | None,
         bloom: BloomFilter | None,
         directory: Path,
         zero_rows: frozenset[int] = frozenset(),
@@ -80,15 +85,8 @@ class CompressedMatrix:
         self._bloom = bloom
         self._directory = directory
         self._zero_rows = zero_rows
-        # Per-row delta index: row() and reconstruct_range() correct
-        # whole rows in O(deltas-in-row) instead of scanning the table.
-        self._deltas_by_row: dict[int, list[tuple[int, float]]] = {}
-        if deltas is not None:
-            cols = v.shape[0]
-            for key, delta in deltas.items():
-                self._deltas_by_row.setdefault(key // cols, []).append(
-                    (key % cols, delta)
-                )
+        # Sorted-array twin of the zero-row set for vectorized masking.
+        self._zero_rows_arr = np.array(sorted(zero_rows), dtype=np.int64)
         self.stats = {
             "cell_queries": 0,
             "bloom_skips": 0,
@@ -153,13 +151,17 @@ class CompressedMatrix:
         )
         if zero_rows.size:
             np.save(directory / _ZERO_ROWS_NAME, zero_rows)
+        has_bloom = isinstance(model, SVDDModel) and model.bloom is not None
         meta = {
             "kind": "svdd" if isinstance(model, SVDDModel) else "svd",
             "rows": svd.num_rows,
             "cols": svd.num_cols,
             "cutoff": svd.cutoff,
             "num_deltas": num_deltas,
-            "bloom": isinstance(model, SVDDModel) and model.bloom is not None,
+            "bloom": has_bloom,
+            # Persist the filter's target FPR so open() rebuilds it at
+            # the strictness the model was built with, not a default.
+            "bloom_fpr": model.bloom.false_positive_rate if has_bloom else None,
             "zero_rows": int(zero_rows.size),
             "bytes_per_value": bytes_per_value,
         }
@@ -202,11 +204,14 @@ class CompressedMatrix:
             if not delta_path.exists():
                 u_store.close()
                 raise FormatError(f"{directory}: missing {_DELTAS_NAME}")
-            deltas = DeltaFile.read(delta_path)
+            keys, values = DeltaFile.read_arrays(delta_path)
+            deltas = DeltaIndex(keys, values, meta["cols"])
             if meta.get("bloom"):
-                bloom = BloomFilter(max(1, len(deltas)))
-                for key, _delta in deltas.items():
-                    bloom.add(key)
+                # Directories written before the FPR was persisted fall
+                # back to the historical default.
+                fpr = float(meta.get("bloom_fpr") or _BLOOM_FPR_DEFAULT)
+                bloom = BloomFilter(max(1, len(deltas)), fpr)
+                bloom.update(int(key) for key in keys)
         store = cls(u_store, eigenvalues, v, deltas, bloom, directory, zero_rows)
         store._bytes_per_value = bytes_per_value
         return store
@@ -242,6 +247,11 @@ class CompressedMatrix:
     def num_deltas(self) -> int:
         """Stored outlier count (0 for plain SVD models)."""
         return len(self._deltas) if self._deltas is not None else 0
+
+    @property
+    def delta_index(self) -> DeltaIndex | None:
+        """The sorted-array outlier index (None for plain SVD models)."""
+        return self._deltas
 
     @property
     def directory(self) -> Path:
@@ -282,8 +292,13 @@ class CompressedMatrix:
             self.stats["bloom_skips"] += 1
             return 0.0
         self.stats["table_probes"] += 1
-        value = self._deltas.get(key, 0.0)
-        return value if value is not None else 0.0
+        return self._deltas.get(key, 0.0)
+
+    def _zero_mask(self, row_idx: np.ndarray) -> np.ndarray:
+        """Boolean mask of selected rows that are flagged all-zero."""
+        if not self._zero_rows:
+            return np.zeros(row_idx.shape, dtype=bool)
+        return np.isin(row_idx, self._zero_rows_arr)
 
     def cell(self, row: int, col: int) -> float:
         """Reconstruct one cell: one U-row disk access + O(k) arithmetic."""
@@ -311,8 +326,9 @@ class CompressedMatrix:
             return np.zeros(cols)
         u_row = self._u_store.row(row)[: self.cutoff]
         out = (u_row * self._eigenvalues) @ self._v.T
-        for col, delta in self._deltas_by_row.get(row, ()):
-            out[col] += delta
+        if self._deltas is not None:
+            delta_cols, delta_values = self._deltas.for_row(row)
+            out[delta_cols] += delta_values
         return out
 
     def column(self, col: int) -> np.ndarray:
@@ -325,17 +341,59 @@ class CompressedMatrix:
         for index, u_row in self._u_store.iter_rows():
             out[index] = float(u_row[: self.cutoff] @ weights)
         if self._deltas is not None:
-            for key, delta in self._deltas.items():
-                if key % cols == col:
-                    out[key // cols] += delta
+            delta_rows, delta_values = self._deltas.for_col(col)
+            out[delta_rows] += delta_values
+        return out
+
+    def cells(self, rows, cols) -> np.ndarray:
+        """Reconstruct many cells at once: one coalesced U gather.
+
+        ``rows`` and ``cols`` are aligned index arrays naming the cells
+        ``(rows[i], cols[i])``.  The selected U rows arrive through one
+        :meth:`~repro.storage.matrix_store.MatrixStore.read_rows` batch
+        (duplicate rows cost one page access), the per-cell dot products
+        are one einsum, and delta corrections resolve with a single
+        vectorized key lookup — no per-cell Python.
+        """
+        row_idx = np.asarray(rows, dtype=np.int64).ravel()
+        col_idx = np.asarray(cols, dtype=np.int64).ravel()
+        if row_idx.shape != col_idx.shape:
+            raise QueryError(
+                f"rows and cols must align, got {row_idx.size} vs {col_idx.size}"
+            )
+        total_rows, total_cols = self.shape
+        if row_idx.size == 0:
+            return np.empty(0)
+        if row_idx.min() < 0 or row_idx.max() >= total_rows:
+            raise QueryError(f"row selection outside [0, {total_rows})")
+        if col_idx.min() < 0 or col_idx.max() >= total_cols:
+            raise QueryError(f"col selection outside [0, {total_cols})")
+        self.stats["cell_queries"] += int(row_idx.size)
+        zero = self._zero_mask(row_idx)
+        self.stats["zero_row_skips"] += int(zero.sum())
+        out = np.zeros(row_idx.size)
+        live = ~zero
+        if live.any():
+            scaled_u = (
+                self._u_store.read_rows(row_idx[live])[:, : self.cutoff]
+                * self._eigenvalues
+            )
+            out[live] = np.einsum("ik,ik->i", scaled_u, self._v[col_idx[live]])
+        if self._deltas is not None and len(self._deltas) > 0:
+            self.stats["table_probes"] += int(row_idx.size)
+            out += self._deltas.lookup(row_idx * total_cols + col_idx)
         return out
 
     def reconstruct_range(self, rows, cols) -> np.ndarray:
         """Reconstruct an arbitrary submatrix (selected rows x columns).
 
-        The paper's 'processing run' access pattern: each selected U row
-        is fetched once (one page), and only the selected columns of V
-        participate — O(|rows| * k * |cols|) arithmetic.
+        The paper's 'processing run' access pattern, vectorized: the
+        selected U rows come back as one batched gather (each row one
+        page, coalesced through the buffer pool), the block is one GEMM
+        against the selected V columns, and the delta corrections inside
+        the rectangle fold in via the sorted
+        :class:`~repro.core.delta_index.DeltaIndex` — no per-row or
+        per-delta Python loops.
         """
         row_idx = np.asarray(list(rows), dtype=np.int64)
         col_idx = np.asarray(list(cols), dtype=np.int64)
@@ -347,21 +405,18 @@ class CompressedMatrix:
         if col_idx.min() < 0 or col_idx.max() >= total_cols:
             raise QueryError(f"col selection outside [0, {total_cols})")
         v_sel = self._v[col_idx]  # (m_sel, k)
-        out = np.empty((row_idx.size, col_idx.size))
-        for pos, row in enumerate(row_idx):
-            if int(row) in self._zero_rows:
-                self.stats["zero_row_skips"] += 1
-                out[pos] = 0.0
-                continue
-            u_row = self._u_store.row(int(row))[: self.cutoff]
-            out[pos] = (u_row * self._eigenvalues) @ v_sel.T
+        out = np.zeros((row_idx.size, col_idx.size))
+        zero = self._zero_mask(row_idx)
+        self.stats["zero_row_skips"] += int(zero.sum())
+        live = ~zero
+        if live.any():
+            u_sel = self._u_store.read_rows(row_idx[live])[:, : self.cutoff]
+            out[live] = (u_sel * self._eigenvalues) @ v_sel.T
         if self._deltas is not None and len(self._deltas) > 0:
-            row_positions = {int(r): p for p, r in enumerate(row_idx)}
-            col_positions = {int(c): p for p, c in enumerate(col_idx)}
-            for key, delta in self._deltas.items():
-                row, col = key // total_cols, key % total_cols
-                if row in row_positions and col in col_positions:
-                    out[row_positions[row], col_positions[col]] += delta
+            row_pos, col_pos, _r, _c, values = self._deltas.select(
+                row_idx, col_idx
+            )
+            out[row_pos, col_pos] += values
         return out
 
     def reconstruct_all(self) -> np.ndarray:
@@ -371,6 +426,6 @@ class CompressedMatrix:
         for index, u_row in self._u_store.iter_rows():
             out[index] = (u_row[: self.cutoff] * self._eigenvalues) @ self._v.T
         if self._deltas is not None:
-            for key, delta in self._deltas.items():
-                out[key // cols, key % cols] += delta
+            # Keys are unique, so fancy-indexed += cannot collide.
+            out[self._deltas.rows, self._deltas.cols] += self._deltas.values
         return out

@@ -17,8 +17,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import QueryError
-from repro.query.fastpath import factor_aggregate
+from repro.query.fastpath import (
+    FACTOR_FUNCTIONS,
+    factor_aggregate,
+    factor_fetch_count,
+    has_factor_form,
+)
 from repro.query.selection import Selection
+
+#: Rows per block in the vectorized streaming path (bounds the block's
+#: memory at _STREAM_BLOCK_ROWS * |cols| floats while keeping the
+#: per-block work one gather + one reduction).
+_STREAM_BLOCK_ROWS = 512
 
 #: Aggregate functions supported by :class:`AggregateQuery` (Section 5.2
 #: names sum, avg, stddev as examples; count/min/max round out the set).
@@ -91,6 +101,36 @@ class _Backend:
             return float(source.cell(row, col))
         return float(self.row(row)[col])
 
+    def cells(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Values of the cells ``(rows[i], cols[i])``, vectorized when
+        the backend supports a batch form, else a per-cell loop."""
+        source = self._source
+        if isinstance(source, np.ndarray):
+            return source[rows, cols].astype(np.float64)
+        if hasattr(source, "cells"):  # CompressedMatrix batch gather
+            return np.asarray(source.cells(rows, cols), dtype=np.float64)
+        if hasattr(source, "reconstruct_cells"):  # in-memory models
+            return np.asarray(source.reconstruct_cells(rows, cols), dtype=np.float64)
+        if hasattr(source, "read_rows"):  # raw MatrixStore
+            return source.read_rows(rows)[np.arange(rows.size), cols]
+        return np.array(
+            [self.cell(int(r), int(c)) for r, c in zip(rows, cols)]
+        )
+
+    def block(self, row_idx: np.ndarray, col_idx: np.ndarray) -> np.ndarray | None:
+        """The submatrix ``row_idx x col_idx`` in one vectorized gather,
+        or None when the backend only supports row-at-a-time access."""
+        source = self._source
+        if isinstance(source, np.ndarray):
+            return source[np.ix_(row_idx, col_idx)].astype(np.float64)
+        if hasattr(source, "reconstruct_range"):
+            return np.asarray(
+                source.reconstruct_range(row_idx, col_idx), dtype=np.float64
+            )
+        if hasattr(source, "read_rows"):  # raw MatrixStore
+            return source.read_rows(row_idx)[:, col_idx]
+        return None
+
 
 class QueryEngine:
     """Executes cell and aggregate queries against one backend.
@@ -127,24 +167,58 @@ class QueryEngine:
         value = self._backend.cell(query.row, query.col)
         return QueryResult(value=value, cells_touched=1, rows_fetched=1)
 
+    def cells(self, queries) -> list[QueryResult]:
+        """Answer a batch of cell queries in one vectorized pass.
+
+        ``queries`` is a sequence of :class:`CellQuery` or ``(row, col)``
+        tuples.  Backends with a batch form (``CompressedMatrix.cells``,
+        the models' ``reconstruct_cells``, ndarray fancy indexing)
+        answer the whole batch with one coalesced gather; per-query
+        accounting stays exact — each result reports its own single cell
+        and row fetch, matching :meth:`cell`.
+        """
+        pairs = [
+            (query.row, query.col) if isinstance(query, CellQuery) else query
+            for query in queries
+        ]
+        if not pairs:
+            return []
+        rows = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        cols = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        num_rows, num_cols = self.shape
+        if rows.min() < 0 or rows.max() >= num_rows:
+            raise QueryError(f"row selection outside [0, {num_rows})")
+        if cols.min() < 0 or cols.max() >= num_cols:
+            raise QueryError(f"col selection outside [0, {num_cols})")
+        values = self._backend.cells(rows, cols)
+        return [
+            QueryResult(value=float(value), cells_touched=1, rows_fetched=1)
+            for value in values
+        ]
+
     def aggregate(self, query: AggregateQuery) -> QueryResult:
         """Answer an aggregate query.
 
         Uses the factor-space fast path when available (see
         :mod:`repro.query.fastpath`), otherwise streams the selected
-        rows through the backend.
+        rows through the backend in vectorized blocks.  Either way
+        ``rows_fetched`` reports the true number of backend row fetches
+        the evaluation performed (0 for purely in-memory factor math).
         """
         row_idx, col_idx = query.selection.resolve(self.shape)
+        if row_idx.size == 0 or col_idx.size == 0:
+            raise QueryError("aggregate over an empty selection")
         if self._use_fast_path:
-            value = factor_aggregate(
+            outcome = factor_aggregate(
                 self._raw_backend, row_idx, col_idx, query.function
             )
-            if value is not None:
+            if outcome is not None:
+                value, rows_fetched = outcome
                 self.stats["fast_path_hits"] += 1
                 return QueryResult(
                     value=value,
                     cells_touched=int(row_idx.size * col_idx.size),
-                    rows_fetched=0,
+                    rows_fetched=rows_fetched,
                 )
         self.stats["streamed"] += 1
         total = 0.0
@@ -152,13 +226,19 @@ class QueryEngine:
         minimum = np.inf
         maximum = -np.inf
         count = 0
-        for index in row_idx:
-            values = self._backend.row(int(index))[col_idx]
-            total += float(values.sum())
-            total_sq += float((values * values).sum())
-            minimum = min(minimum, float(values.min()))
-            maximum = max(maximum, float(values.max()))
-            count += values.size
+        for start in range(0, int(row_idx.size), _STREAM_BLOCK_ROWS):
+            chunk = row_idx[start : start + _STREAM_BLOCK_ROWS]
+            block = self._backend.block(chunk, col_idx)
+            if block is None:
+                # Row-at-a-time fallback for backends without a batch form.
+                block = np.stack(
+                    [self._backend.row(int(index))[col_idx] for index in chunk]
+                )
+            total += float(block.sum())
+            total_sq += float((block * block).sum())
+            minimum = min(minimum, float(block.min()))
+            maximum = max(maximum, float(block.max()))
+            count += int(block.size)
         value = self._finalize(query.function, total, total_sq, minimum, maximum, count)
         return QueryResult(
             value=value, cells_touched=count, rows_fetched=int(row_idx.size)
@@ -168,26 +248,31 @@ class QueryEngine:
         """Describe how a query would execute, without executing it.
 
         Returns a dict with ``path`` ('cell' | 'factor' | 'stream'), the
-        number of cells the selection covers, and a rough cost estimate
-        (rows fetched for streaming; k-length dot products for the
-        factor path).
+        number of cells the selection covers, and the row fetches the
+        chosen path would perform (0 for factor math over in-memory
+        models; the selected U rows for a disk-resident backend).  The
+        plan is computed from backend capabilities alone — no pages are
+        read and no backend state changes.
         """
         if isinstance(query, CellQuery):
             return {"path": "cell", "cells": 1, "estimated_row_fetches": 1}
         row_idx, col_idx = query.selection.resolve(self.shape)
         cells = int(row_idx.size * col_idx.size)
-        from repro.query.fastpath import _gather_factors
-
         factor_capable = (
             self._use_fast_path
-            and query.function in ("sum", "avg", "count", "stddev")
-            and _gather_factors(self._raw_backend, row_idx[:1]) is not None
+            and query.function in FACTOR_FUNCTIONS
+            and has_factor_form(self._raw_backend)
         )
         if factor_capable:
+            fetches = (
+                0
+                if query.function == "count"
+                else factor_fetch_count(self._raw_backend, row_idx.size)
+            )
             return {
                 "path": "factor",
                 "cells": cells,
-                "estimated_row_fetches": 0,
+                "estimated_row_fetches": fetches,
             }
         return {
             "path": "stream",

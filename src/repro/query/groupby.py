@@ -10,8 +10,9 @@ Both have factor-space evaluations on an SVD/SVDD model:
 - per-column sums over row set R:   ``(sum_{i in R} u_i * lambda) @ V^t``
   — O(M * k);
 
-plus an O(num_deltas) correction pass.  Against non-factor backends the
-same API streams rows.
+plus a vectorized correction pass over the sorted
+:class:`~repro.core.delta_index.DeltaIndex`.  Against non-factor
+backends the same API streams rows.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ import numpy as np
 
 from repro.exceptions import QueryError
 from repro.query.engine import _Backend
-from repro.query.fastpath import _deltas_of, _unwrap
+from repro.query.fastpath import _delta_index_of, _unwrap
 from repro.query.selection import Selection
 
 
@@ -42,15 +43,10 @@ def row_totals(backend, selection: Selection | None = None) -> np.ndarray:
     if svd is not None:
         scaled_u = svd.u[row_idx] * svd.eigenvalues
         totals = scaled_u @ svd.v[col_idx].sum(axis=0)
-        deltas = _deltas_of(backend)
-        if deltas is not None and len(deltas) > 0:
-            cols = svd.num_cols
-            positions = {int(row): pos for pos, row in enumerate(row_idx)}
-            col_set = set(int(col) for col in col_idx)
-            for key, delta in deltas.items():
-                row, col = key // cols, key % cols
-                if row in positions and col in col_set:
-                    totals[positions[row]] += delta
+        index = _delta_index_of(backend)
+        if index is not None and len(index) > 0:
+            row_pos, _col_pos, _rows, _cols, values = index.select(row_idx, col_idx)
+            np.add.at(totals, row_pos, values)
         return totals
 
     return np.array(
@@ -71,15 +67,10 @@ def column_totals(backend, selection: Selection | None = None) -> np.ndarray:
     if svd is not None:
         summed_u = (svd.u[row_idx] * svd.eigenvalues).sum(axis=0)
         totals = svd.v[col_idx] @ summed_u
-        deltas = _deltas_of(backend)
-        if deltas is not None and len(deltas) > 0:
-            cols = svd.num_cols
-            row_set = set(int(row) for row in row_idx)
-            positions = {int(col): pos for pos, col in enumerate(col_idx)}
-            for key, delta in deltas.items():
-                row, col = key // cols, key % cols
-                if row in row_set and col in positions:
-                    totals[positions[col]] += delta
+        index = _delta_index_of(backend)
+        if index is not None and len(index) > 0:
+            _row_pos, col_pos, _rows, _cols, values = index.select(row_idx, col_idx)
+            np.add.at(totals, col_pos, values)
         return totals
 
     totals = np.zeros(col_idx.size)

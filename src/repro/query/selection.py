@@ -52,6 +52,12 @@ class Selection:
         num_rows, num_cols = shape
         rows = _normalize(self.rows, num_rows)
         cols = _normalize(self.cols, num_cols)
+        # Slices (and zero-extent matrices) can normalize to nothing;
+        # surface that as a QueryError, not an IndexError downstream.
+        if rows.size == 0:
+            raise QueryError("row selection is empty — it covers no cells")
+        if cols.size == 0:
+            raise QueryError("column selection is empty — it covers no cells")
         if rows[0] < 0 or rows[-1] >= num_rows:
             raise QueryError(
                 f"row selection [{rows[0]}, {rows[-1]}] outside [0, {num_rows})"

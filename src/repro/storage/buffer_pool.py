@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, PageError
 from repro.storage.pager import FilePager
 
@@ -92,6 +94,82 @@ class BufferPool:
         data = self.pager.read_page(page_id)
         self._insert(page_id, data)
         return data
+
+    def get_pages(self, page_ids) -> dict[int, bytes]:
+        """Fetch a batch of pages, touching each distinct page once.
+
+        The coalescing primitive behind
+        :meth:`~repro.storage.matrix_store.MatrixStore.read_rows`: a
+        page requested by several rows of one batch costs one pool
+        access (one hit or one miss), not one per row, and all the
+        misses go to the pager as one batched
+        :meth:`~repro.storage.pager.FilePager.read_pages` call (runs of
+        near-contiguous pages become single sequential reads).  Returns
+        a ``page_id -> bytes`` mapping covering every requested page.
+        """
+        ids = np.unique(np.asarray(list(page_ids), dtype=np.int64))
+        if ids.size == 0:
+            return {}
+        if self._pages:
+            cached = np.fromiter(self._pages.keys(), dtype=np.int64)
+            hit_mask = np.isin(ids, cached)
+        else:
+            hit_mask = np.zeros(ids.size, dtype=bool)
+        out: dict[int, bytes] = {}
+        for pid in ids[hit_mask].tolist():
+            self.stats.hits += 1
+            if self.policy == "lru":
+                self._pages.move_to_end(pid)
+            else:
+                self._referenced[pid] = True
+            out[pid] = self._pages[pid]
+        missing = ids[~hit_mask].tolist()
+        if missing:
+            loaded = self.pager.read_pages(missing)
+            self.stats.misses += len(missing)
+            out.update(loaded)
+            if len(missing) >= self.capacity:
+                # Scan resistance: a miss batch at least as large as the
+                # pool would evict everything resident only to be evicted
+                # itself by the end of the batch.  Keep the resident set
+                # and cache just the tail of the scan.
+                missing = missing[-max(self.capacity // 2, 1) :]
+            for pid in missing:
+                self._insert(pid, loaded[pid])
+        return out
+
+    def get_page_range(self, page_ids) -> tuple[int, bytes]:
+        """The span ``min(page_ids)..max(page_ids)`` as one buffer.
+
+        The dense-batch complement of :meth:`get_pages`: instead of
+        materializing one ``bytes`` object per page, the whole span
+        (gap pages included) arrives as a single sequential
+        :meth:`~repro.storage.pager.FilePager.read_page_span` read, and
+        the caller slices rows out of it directly.  Only the pages in
+        ``page_ids`` are accounted as pool accesses; a tail of the
+        missed pages is cached (scan resistance, as in
+        :meth:`get_pages`).  Returns ``(first_page_id, blob)``.
+        """
+        ids = np.unique(np.asarray(list(page_ids), dtype=np.int64))
+        if ids.size == 0:
+            raise PageError("get_page_range requires at least one page id")
+        first = int(ids[0])
+        last = int(ids[-1])
+        if self._pages:
+            cached = np.fromiter(self._pages.keys(), dtype=np.int64)
+            hits = int(np.isin(ids, cached).sum())
+        else:
+            hits = 0
+        self.stats.hits += hits
+        self.stats.misses += ids.size - hits
+        blob = self.pager.read_page_span(first, last)
+        page_size = self.pager.page_size
+        keep = ids[-max(self.capacity // 2, 1) :].tolist()
+        for pid in keep:
+            if pid not in self._pages:
+                offset = (pid - first) * page_size
+                self._insert(pid, blob[offset : offset + page_size])
+        return first, blob
 
     def pin(self, page_id: int) -> bytes:
         """Load a page and exempt it from eviction (the paper's pinned V/Lambda)."""

@@ -48,8 +48,30 @@ class DeltaFile:
         return len(records)
 
     @staticmethod
+    def read_arrays(path: str | os.PathLike) -> tuple[np.ndarray, np.ndarray]:
+        """Load a delta file as ``(keys, deltas)`` NumPy arrays.
+
+        One ``frombuffer`` over the validated record body — no
+        per-record Python.  Keys come back sorted (the canonical file
+        order), which is exactly the form
+        :class:`~repro.core.delta_index.DeltaIndex` wants.
+        """
+        body = DeltaFile._validated_body(path)
+        records = np.frombuffer(body, dtype=np.dtype([("k", "<i8"), ("d", "<f8")]))
+        return records["k"].astype(np.int64), records["d"].astype(np.float64)
+
+    @staticmethod
     def read(path: str | os.PathLike) -> OpenAddressingTable:
         """Load a delta file into an open-addressing table."""
+        keys, deltas = DeltaFile.read_arrays(path)
+        table = OpenAddressingTable(initial_capacity=max(16, keys.size * 2))
+        for key, delta in zip(keys, deltas):
+            table.put(int(key), float(delta))
+        return table
+
+    @staticmethod
+    def _validated_body(path: str | os.PathLike) -> bytes:
+        """The checksum-verified record bytes of a delta file."""
         raw = Path(path).read_bytes()
         header_size = struct.calcsize(_HEADER_FMT)
         if len(raw) < header_size:
@@ -64,12 +86,7 @@ class DeltaFile:
             )
         if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
             raise ChecksumError(f"{path}: delta records failed checksum")
-        table = OpenAddressingTable(initial_capacity=max(16, count * 2))
-        if count:
-            keys = np.frombuffer(body, dtype=np.dtype([("k", "<i8"), ("d", "<f8")]))
-            for key, delta in zip(keys["k"], keys["d"]):
-                table.put(int(key), float(delta))
-        return table
+        return body
 
     @staticmethod
     def size_bytes(record_count: int) -> int:

@@ -44,6 +44,11 @@ _MAGIC = b"RPRMTX02"
 _HEADER_FMT = "<8sQQIBI"  # magic, rows, cols, page_size, dtype code, crc32
 _STREAM_CHUNK_ROWS = 256
 
+#: Largest page span (in bytes) a batched row read will fetch as one
+#: sequential read; beyond this, or when the requested pages cover less
+#: than a quarter of the span, the read falls back to per-page fetches.
+_SPAN_READ_CAP = 64 * 1024 * 1024
+
 #: Storable element types: code <-> numpy dtype.  float32 halves the
 #: per-number cost 'b', letting the same budget hold twice the model.
 _DTYPE_CODES = {0: np.dtype(np.float64), 1: np.dtype(np.float32)}
@@ -278,6 +283,63 @@ class MatrixStore:
             raise QueryError(f"row {index} out of range [0, {self._rows})")
         raw = read_span(self._pool, self._row_offset(index), self._cols * self._item)
         return np.frombuffer(raw, dtype=self._dtype).astype(np.float64)
+
+    def read_rows(self, indices) -> np.ndarray:
+        """Read a batch of rows through the buffer pool in one gather.
+
+        The vectorized counterpart of :meth:`row`: page reads are
+        coalesced via :meth:`BufferPool.get_pages`, so a page shared by
+        several requested rows (or requested twice in one batch) is
+        touched once, and the result comes back as a single
+        ``(len(indices), cols)`` float64 array ready for one GEMM.
+        Duplicate and unsorted indices are allowed; the output follows
+        the input order.
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return np.empty((0, self._cols), dtype=np.float64)
+        if idx.min() < 0 or idx.max() >= self._rows:
+            raise QueryError(
+                f"row selection outside [0, {self._rows}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        row_bytes = self._cols * self._item
+        page_size = self._pager.page_size
+        offsets = self._data_offset + idx * row_bytes
+        first = offsets // page_size
+        last = (offsets + row_bytes - 1) // page_size
+        # Distinct pages the batch touches.  A row's pages are the
+        # consecutive run first..last, so unioning the clipped shifts
+        # first+d covers them without a per-row loop.
+        max_span = int((last - first).max())
+        needed = np.unique(
+            np.concatenate([np.minimum(first + d, last) for d in range(max_span + 1)])
+        )
+        span = int(needed[-1] - needed[0]) + 1
+        if (
+            span * page_size <= _SPAN_READ_CAP
+            and 4 * needed.size >= span
+        ):
+            # Dense batch: one sequential span read, rows gathered
+            # straight out of the blob — no per-page slicing or joining.
+            base, blob = self._pool.get_page_range(needed)
+            buf = np.frombuffer(blob, dtype=np.uint8)
+            starts = offsets - base * page_size
+            raw = buf[starts[:, None] + np.arange(row_bytes)]
+            return raw.view(self._dtype).astype(np.float64)
+        # Sparse batch: fetch just the needed pages.  One byte-level
+        # gather for the whole batch: pages are always page_size long
+        # (the pager zero-pads at EOF), and every page a row spans is
+        # present in ``needed``, so the row's bytes occupy consecutive
+        # slots of the joined buffer.
+        pages = self._pool.get_pages(needed)
+        joined = np.frombuffer(
+            b"".join(pages[int(pid)] for pid in needed), dtype=np.uint8
+        )
+        slots = np.searchsorted(needed, first)
+        starts = slots * page_size + (offsets - first * page_size)
+        raw = joined[starts[:, None] + np.arange(row_bytes)]
+        return raw.view(self._dtype).astype(np.float64)
 
     def cell(self, row: int, col: int) -> float:
         """Read one cell through the buffer pool."""

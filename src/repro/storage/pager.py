@@ -116,6 +116,75 @@ class FilePager:
             data = data + b"\x00" * (self.page_size - len(data))
         return data
 
+    #: Maximum gap (in pages) bridged when coalescing a batch read into
+    #: one sequential I/O.  Reading a few unrequested pages in the middle
+    #: of a run is far cheaper than an extra seek + read round-trip.
+    _COALESCE_GAP = 16
+
+    def read_pages(self, page_ids) -> dict[int, bytes]:
+        """Read a batch of pages, coalescing near-contiguous runs.
+
+        Sorted requested pages whose gaps do not exceed
+        ``_COALESCE_GAP`` are fetched with a single ``seek`` + ``read``
+        spanning the run (gap pages are read and discarded); each run
+        counts as one I/O in :attr:`stats`.  Returns ``page_id ->
+        bytes`` with every page zero-padded to ``page_size``.
+        """
+        self._require_open()
+        ids = sorted({int(page_id) for page_id in page_ids})
+        if not ids:
+            return {}
+        total = self.num_pages()
+        if ids[0] < 0 or ids[-1] >= total:
+            raise PageError(
+                f"page batch [{ids[0]}, {ids[-1]}] out of range "
+                f"[0, {total}) in {self.path}"
+            )
+        out: dict[int, bytes] = {}
+        position = 0
+        while position < len(ids):
+            end = position
+            while (
+                end + 1 < len(ids)
+                and ids[end + 1] - ids[end] <= self._COALESCE_GAP
+            ):
+                end += 1
+            first = ids[position]
+            span = ids[end] - first + 1
+            self._file.seek(first * self.page_size)
+            blob = self._file.read(span * self.page_size)
+            self.stats.reads += 1
+            self.stats.bytes_read += len(blob)
+            if len(blob) < span * self.page_size:
+                blob = blob + b"\x00" * (span * self.page_size - len(blob))
+            for index in range(position, end + 1):
+                offset = (ids[index] - first) * self.page_size
+                out[ids[index]] = blob[offset : offset + self.page_size]
+            position = end + 1
+        return out
+
+    def read_page_span(self, first: int, last: int) -> bytes:
+        """Pages ``first..last`` inclusive as one contiguous buffer.
+
+        One ``seek`` + one ``read``; the tail is zero-padded so the
+        result is always ``(last - first + 1) * page_size`` bytes.
+        """
+        self._require_open()
+        total = self.num_pages()
+        if first < 0 or last < first or last >= total:
+            raise PageError(
+                f"page span [{first}, {last}] out of range [0, {total}) "
+                f"in {self.path}"
+            )
+        length = (last - first + 1) * self.page_size
+        self._file.seek(first * self.page_size)
+        blob = self._file.read(length)
+        self.stats.reads += 1
+        self.stats.bytes_read += len(blob)
+        if len(blob) < length:
+            blob = blob + b"\x00" * (length - len(blob))
+        return blob
+
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page; ``data`` must be at most one page long."""
         self._require_open()

@@ -70,6 +70,7 @@ class BloomFilter:
         num_bits, num_hashes = optimal_parameters(expected_items, false_positive_rate)
         self._num_bits = num_bits
         self._num_hashes = num_hashes
+        self._fpr = false_positive_rate
         self._bits = np.zeros((num_bits + 7) // 8, dtype=np.uint8)
         self._count = 0
 
@@ -77,6 +78,11 @@ class BloomFilter:
     def num_bits(self) -> int:
         """Size of the underlying bit array."""
         return self._num_bits
+
+    @property
+    def false_positive_rate(self) -> float:
+        """The target FPR the filter was sized for (persisted with models)."""
+        return self._fpr
 
     @property
     def num_hashes(self) -> int:
@@ -129,13 +135,16 @@ class CountingBloomFilter(BloomFilter):
     without rebuilding the whole filter.
     """
 
+    #: Counter ceiling; a counter that ever reaches it is pinned forever.
+    _SATURATED = int(np.iinfo(np.uint16).max)
+
     def __init__(self, expected_items: int, false_positive_rate: float = 0.01) -> None:
         super().__init__(expected_items, false_positive_rate)
         self._counters = np.zeros(self._num_bits, dtype=np.uint16)
 
     def add(self, key: int) -> None:
         for pos in self._positions(key):
-            if self._counters[pos] < np.iinfo(np.uint16).max:
+            if self._counters[pos] < self._SATURATED:
                 self._counters[pos] += 1
         self._count += 1
 
@@ -147,12 +156,20 @@ class CountingBloomFilter(BloomFilter):
 
         Removing a key that was never added is detected (probabilistically,
         like membership) and leaves the filter unchanged.
+
+        A counter that ever hit the ``uint16`` ceiling is *pinned*: once
+        ``add`` refuses to increment past saturation the true count is
+        unknown, so decrementing could drive it to zero while keys still
+        hash there — a false negative, the one failure mode a Bloom
+        filter must never exhibit.  Pinned counters trade that for a
+        slightly higher false-positive rate, which is safe.
         """
         positions = list(self._positions(key))
         if not all(self._counters[pos] > 0 for pos in positions):
             return False
         for pos in positions:
-            self._counters[pos] -= 1
+            if self._counters[pos] < self._SATURATED:
+                self._counters[pos] -= 1
         self._count = max(0, self._count - 1)
         return True
 

@@ -1,0 +1,138 @@
+"""Tests for the sorted-array outlier index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta_index import DeltaIndex
+from repro.exceptions import ConfigurationError
+
+NUM_COLS = 10
+
+
+@pytest.fixture()
+def index() -> DeltaIndex:
+    # Cells (1,2)=5.0, (3,0)=-2.0, (3,7)=1.5, (8,9)=0.25 on a 10-wide matrix.
+    keys = [12, 30, 37, 89]
+    values = [5.0, -2.0, 1.5, 0.25]
+    return DeltaIndex(keys, values, NUM_COLS)
+
+
+class TestConstruction:
+    def test_sorts_unsorted_input(self):
+        index = DeltaIndex([30, 12, 89, 37], [-2.0, 5.0, 0.25, 1.5], NUM_COLS)
+        assert list(index.keys) == [12, 30, 37, 89]
+        assert list(index.values) == [5.0, -2.0, 1.5, 0.25]
+
+    def test_from_items(self):
+        index = DeltaIndex.from_items([(30, -2.0), (12, 5.0)], NUM_COLS)
+        assert len(index) == 2
+        assert index.get(12) == 5.0
+
+    def test_from_empty_items(self):
+        index = DeltaIndex.from_items([], NUM_COLS)
+        assert len(index) == 0
+        assert index.get(0) == 0.0
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeltaIndex([1, 2], [1.0], NUM_COLS)
+
+    def test_row_col_decomposition(self, index):
+        assert list(index.rows) == [1, 3, 3, 8]
+        assert list(index.cols) == [2, 0, 7, 9]
+
+
+class TestScalarAccess:
+    def test_get_present_and_absent(self, index):
+        assert index.get(12) == 5.0
+        assert index.get(13) == 0.0
+        assert index.get(13, default=-1.0) == -1.0
+
+    def test_contains(self, index):
+        assert 37 in index
+        assert 36 not in index
+        assert 1000 not in index
+
+    def test_items_in_key_order(self, index):
+        assert list(index.items()) == [
+            (12, 5.0),
+            (30, -2.0),
+            (37, 1.5),
+            (89, 0.25),
+        ]
+
+
+class TestVectorizedAccess:
+    def test_lookup(self, index):
+        out = index.lookup([12, 13, 89, 0, 37])
+        assert list(out) == [5.0, 0.0, 0.25, 0.0, 1.5]
+
+    def test_lookup_empty_batch(self, index):
+        assert index.lookup(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_for_row(self, index):
+        cols, values = index.for_row(3)
+        assert list(cols) == [0, 7]
+        assert list(values) == [-2.0, 1.5]
+        cols, values = index.for_row(2)
+        assert cols.size == 0 and values.size == 0
+
+    def test_for_col(self, index):
+        rows, values = index.for_col(0)
+        assert list(rows) == [3]
+        assert list(values) == [-2.0]
+        rows, values = index.for_col(5)
+        assert rows.size == 0
+
+
+class TestSelect:
+    def test_positions_follow_selection_order(self, index):
+        # Unsorted selections: positions must index the given arrays.
+        row_sel = np.array([8, 3])
+        col_sel = np.array([9, 0])
+        row_pos, col_pos, rows, cols, values = index.select(row_sel, col_sel)
+        folded = np.zeros((2, 2))
+        folded[row_pos, col_pos] += values
+        assert folded[0, 0] == 0.25  # (8, 9)
+        assert folded[1, 1] == -2.0  # (3, 0)
+        assert folded[0, 1] == 0.0 and folded[1, 0] == 0.0
+
+    def test_empty_selection(self, index):
+        row_pos, *_rest, values = index.select(np.empty(0), np.array([0]))
+        assert row_pos.size == 0 and values.size == 0
+
+    def test_no_deltas_inside(self, index):
+        _p, _q, _r, _c, values = index.select(np.array([0, 2]), np.array([1, 4]))
+        assert values.size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_property_select_matches_dict_scan(seed):
+    """The vectorized rectangle selection equals the naive dict scan."""
+    rng = np.random.default_rng(seed)
+    num_cols = int(rng.integers(2, 20))
+    num_rows = int(rng.integers(2, 20))
+    count = int(rng.integers(0, 30))
+    keys = rng.choice(num_rows * num_cols, size=min(count, num_rows * num_cols), replace=False)
+    values = rng.standard_normal(keys.size)
+    index = DeltaIndex(keys, values, num_cols)
+
+    row_sel = np.unique(rng.integers(0, num_rows, size=5))
+    col_sel = np.unique(rng.integers(0, num_cols, size=4))
+    fast = np.zeros((row_sel.size, col_sel.size))
+    row_pos, col_pos, _r, _c, vals = index.select(row_sel, col_sel)
+    fast[row_pos, col_pos] += vals
+
+    slow = np.zeros_like(fast)
+    row_positions = {int(r): p for p, r in enumerate(row_sel)}
+    col_positions = {int(c): p for p, c in enumerate(col_sel)}
+    for key, delta in zip(keys, values):
+        row, col = int(key) // num_cols, int(key) % num_cols
+        if row in row_positions and col in col_positions:
+            slow[row_positions[row], col_positions[col]] += delta
+    np.testing.assert_allclose(fast, slow)

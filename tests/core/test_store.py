@@ -149,3 +149,61 @@ class TestReconstructRange:
             saved.reconstruct_range([9999], [0])
         with pytest.raises(QueryError):
             saved.reconstruct_range([0], [])
+
+
+class TestBloomFprPersistence:
+    """The filter's target FPR must survive a save/open round trip."""
+
+    def test_strict_fpr_round_trips(self, tmp_path, data):
+        model = SVDDCompressor(budget_fraction=0.10, bloom_fpr=0.001).fit(data)
+        assert model.num_deltas > 0 and model.bloom is not None
+        directory = tmp_path / "strict"
+        CompressedMatrix.save(model, directory).close()
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["bloom_fpr"] == 0.001
+        with CompressedMatrix.open(directory) as store:
+            assert store._bloom.false_positive_rate == 0.001
+            # A stricter FPR buys a larger bit array than the default.
+            assert store._bloom.num_bits == model.bloom.num_bits
+
+    def test_old_directory_without_fpr_defaults(self, tmp_path, svdd_model):
+        directory = tmp_path / "legacy"
+        CompressedMatrix.save(svdd_model, directory).close()
+        meta = json.loads((directory / "meta.json").read_text())
+        del meta["bloom_fpr"]  # simulate a pre-upgrade directory
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with CompressedMatrix.open(directory) as store:
+            assert store._bloom is not None
+            assert store._bloom.false_positive_rate == 0.01
+
+    def test_svd_model_records_no_fpr(self, tmp_path, data):
+        model = SVDCompressor(k=4).fit(data)
+        directory = tmp_path / "svd"
+        CompressedMatrix.save(model, directory).close()
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["bloom_fpr"] is None
+
+
+class TestBatchCells:
+    def test_cells_match_scalar_cell(self, saved):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 150, size=40)
+        cols = rng.integers(0, 366, size=40)
+        batch = saved.cells(rows, cols)
+        scalar = [saved.cell(int(r), int(c)) for r, c in zip(rows, cols)]
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=1e-12)
+
+    def test_duplicate_rows_coalesce_page_reads(self, tmp_path, svdd_model):
+        store = CompressedMatrix.save(svdd_model, tmp_path / "m")
+        store.u_pool_stats.reset()
+        store.cells([5, 5, 5, 5], [0, 1, 2, 3])
+        assert store.u_pool_stats.accesses == 1  # one page for all four cells
+        store.close()
+
+    def test_misaligned_batch_rejected(self, saved):
+        with pytest.raises(QueryError):
+            saved.cells([1, 2], [3])
+
+    def test_batch_bounds_checked(self, saved):
+        with pytest.raises(QueryError):
+            saved.cells([0, 9999], [0, 0])

@@ -67,3 +67,19 @@ class TestRandom:
         a = Selection.random((100, 50), 0.1, np.random.default_rng(7))
         b = Selection.random((100, 50), 0.1, np.random.default_rng(7))
         assert a.resolve((100, 50))[0].tolist() == b.resolve((100, 50))[0].tolist()
+
+
+class TestEmptySelections:
+    """Empty selections must surface as QueryError, never IndexError."""
+
+    def test_empty_row_slice(self):
+        with pytest.raises(QueryError, match="row selection is empty"):
+            Selection(rows=slice(2, 2)).resolve((10, 4))
+
+    def test_empty_col_slice(self):
+        with pytest.raises(QueryError, match="column selection is empty"):
+            Selection(cols=slice(3, 3)).resolve((10, 4))
+
+    def test_zero_extent_matrix(self):
+        with pytest.raises(QueryError):
+            Selection().resolve((0, 4))

@@ -185,3 +185,44 @@ def test_property_roundtrip_any_shape(tmp_path_factory, rows, cols, seed):
         assert store.cell(rows - 1, cols - 1) == matrix[-1, -1]
     finally:
         store.close()
+
+
+class TestReadRows:
+    def test_matches_scalar_rows(self, store, matrix):
+        idx = [7, 0, 3, 7]  # unsorted with a duplicate
+        block = store.read_rows(idx)
+        np.testing.assert_allclose(block, matrix[idx])
+
+    def test_empty_batch(self, store):
+        assert store.read_rows([]).shape == (0, store.num_cols)
+
+    def test_out_of_range_rejected(self, store):
+        with pytest.raises(QueryError):
+            store.read_rows([0, store.num_rows])
+        with pytest.raises(QueryError):
+            store.read_rows([-1])
+
+    def test_coalesces_duplicate_pages(self, tmp_path, rng):
+        data = rng.standard_normal((16, 8))
+        row_bytes = 8 * 8
+        st = MatrixStore.create(tmp_path / "c.mat", data, page_size=row_bytes)
+        st.pool_stats.reset()
+        st.read_rows([3, 3, 3, 4])
+        assert st.pool_stats.accesses == 2  # two distinct pages, not four
+        st.close()
+
+    def test_rows_straddling_pages(self, tmp_path, rng):
+        # 24-byte rows over 64-byte pages: rows cross page boundaries.
+        data = rng.standard_normal((20, 3))
+        st = MatrixStore.create(tmp_path / "s.mat", data, page_size=64)
+        block = st.read_rows(list(range(20)))
+        np.testing.assert_allclose(block, data)
+        st.close()
+
+    def test_float32_store_reads_back_float64(self, tmp_path, rng):
+        data = rng.standard_normal((10, 6))
+        st = MatrixStore.create(tmp_path / "f.mat", data, dtype=np.float32)
+        block = st.read_rows([2, 5])
+        assert block.dtype == np.float64
+        np.testing.assert_allclose(block, data[[2, 5]], atol=1e-6)
+        st.close()

@@ -111,3 +111,46 @@ def test_property_membership_never_false_negative(keys):
     bf = BloomFilter(len(keys), 0.01)
     bf.update(keys)
     assert all(k in bf for k in keys)
+
+
+class TestSaturationPinning:
+    """Counters that ever hit the uint16 ceiling must never decrement.
+
+    Regression: ``add`` refuses to increment a saturated counter, so its
+    true count is unknown; decrementing it on ``remove`` can drive it to
+    zero while other keys still hash there — a false negative, the one
+    guarantee a Bloom filter must never break.
+    """
+
+    def test_saturated_counters_never_decrement(self):
+        cbf = CountingBloomFilter(4)
+        cbf.add(7)
+        positions = list(cbf._positions(7))
+        ceiling = CountingBloomFilter._SATURATED
+        # Simulate a counter that saturated under massive shared load.
+        for pos in positions:
+            cbf._counters[pos] = ceiling
+        assert cbf.remove(7)
+        for pos in positions:
+            assert cbf._counters[pos] == ceiling  # pinned, no underflow
+        assert 7 in cbf  # membership survives; only false positives allowed
+
+    def test_add_at_saturation_does_not_overflow(self):
+        cbf = CountingBloomFilter(4)
+        ceiling = CountingBloomFilter._SATURATED
+        cbf._counters[:] = ceiling
+        cbf.add(3)  # must not wrap any counter to zero
+        assert int(cbf._counters.min()) == ceiling
+
+    def test_unsaturated_removal_still_exact(self):
+        cbf = CountingBloomFilter(50)
+        cbf.add(11)
+        cbf.add(12)
+        assert cbf.remove(11)
+        assert 12 in cbf
+
+
+class TestTargetFpr:
+    def test_filter_remembers_its_target(self):
+        assert BloomFilter(100, 0.001).false_positive_rate == 0.001
+        assert BloomFilter(100).false_positive_rate == 0.01
