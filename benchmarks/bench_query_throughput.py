@@ -18,7 +18,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import emit, format_table
+from benchmarks.conftest import emit, emit_json, format_table
 from repro.core import CompressedMatrix, SVDDCompressor
 from repro.storage import BufferPool, MatrixStore
 
@@ -40,6 +40,7 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
 
     rows = []
     throughput = {}
+    config_metrics = {}
     for label, pool_capacity in (("64-page pool", 64), ("512-page pool", 512)):
         compressed = CompressedMatrix.open(root / "model", pool_capacity=pool_capacity)
         start = time.perf_counter()
@@ -57,6 +58,11 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
         raw.close()
 
         throughput[label] = (compressed_qps, raw_qps)
+        config_metrics[f"pool_{pool_capacity}"] = {
+            "compressed_qps": round(compressed_qps, 1),
+            "raw_qps": round(raw_qps, 1),
+            "u_pool_hit_rate": round(hit_rate, 4),
+        }
         rows.append(
             [
                 label,
@@ -73,6 +79,7 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
 
     # Policy comparison at equal capacity on the same workload.
     policy_rows = []
+    policy_hit_rates = {}
     for policy in ("lru", "clock"):
         raw = MatrixStore.open(root / "raw.mat")
         pool = BufferPool(raw._pager, capacity=32, policy=policy)
@@ -80,6 +87,7 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
         for row, col in queries:
             raw.cell(row, col)
         policy_rows.append([policy, f"{pool.stats.hit_rate:.1%}"])
+        policy_hit_rates[policy] = round(pool.stats.hit_rate, 4)
         raw.close()
     lines.append("")
     lines.extend(
@@ -90,6 +98,18 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
         )
     )
     emit("query_throughput", lines)
+    emit_json(
+        "query_throughput",
+        params={
+            "dataset": "phone2000",
+            "queries": len(queries),
+            "budget_fraction": 0.10,
+            "workload": "zipf-1.3",
+            "pool_capacities": [64, 512],
+            "policy_pool_capacity": 32,
+        },
+        metrics={**config_metrics, "policy_hit_rates": policy_hit_rates},
+    )
 
     # The compressed store keeps up with the raw store.  Wall-clock
     # ratios are machine/load sensitive, so the hard assertion is loose;
@@ -179,6 +199,7 @@ def test_aggregate_speedup(tmp_path_factory):
     row_idx, col_idx = selection.resolve(engine.shape)
 
     rows = []
+    speedups = {}
     for function in ("sum", "stddev"):
         query = AggregateQuery(function, selection)
 
@@ -196,6 +217,11 @@ def test_aggregate_speedup(tmp_path_factory):
 
         np.testing.assert_allclose(fast_value, scalar_value, rtol=1e-9, atol=1e-9)
         speedup = scalar_time / fast_time
+        speedups[function] = {
+            "scalar_ms": round(scalar_time * 1e3, 3),
+            "vectorized_ms": round(fast_time * 1e3, 3),
+            "speedup": round(speedup, 2),
+        }
         rows.append(
             [
                 function,
@@ -214,5 +240,16 @@ def test_aggregate_speedup(tmp_path_factory):
             ["aggregate", "scalar ms", "vectorized ms", "speedup"],
             rows,
         ),
+    )
+    emit_json(
+        "aggregate_speedup",
+        params={
+            "rows": 4000,
+            "cols": 366,
+            "stored_deltas": len(store.delta_index),
+            "selection": "2000x183",
+            "repeats": 5,
+        },
+        metrics=speedups,
     )
     store.close()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.conftest import emit, format_table
+from benchmarks.conftest import emit, emit_json, format_table
 from repro.core import CompressedMatrix, SVDDCompressor
 from repro.query import random_cell_queries
 from repro.storage import MatrixStore
@@ -60,6 +60,21 @@ def test_storage_access_counts(tmp_path_factory, phone2000, benchmark):
         "answered with no disk access at all"
     )
     emit("storage_access", lines)
+    emit_json(
+        "storage_access",
+        params={
+            "dataset": "phone2000",
+            "queries": 500,
+            "budget_fraction": 0.10,
+            "workload": "distinct-random-rows",
+        },
+        metrics={
+            "compressed_misses_per_query": round(compressed_misses / 500, 4),
+            "raw_misses_per_query": round(raw_misses / 500, 4),
+            "space_fraction": round(compressed.space_bytes() / uncompressed_bytes, 4),
+            "zero_row_skips": int(zero_skips),
+        },
+    )
 
     # The 1-access claim: exactly one U-page miss per distinct cold row,
     # except rows the Section 6.2 zero-row flag answers for free.

@@ -5,6 +5,12 @@ paper's evaluation: it computes the same rows/series the paper reports,
 prints them, writes them to ``benchmarks/results/<name>.txt``, and
 times one representative operation with pytest-benchmark.
 
+Benchmarks additionally emit **machine-readable records** via
+:func:`emit_json`: schema-versioned JSON files
+(``benchmarks/results/BENCH_<name>.json``) carrying the git sha, a UTC
+timestamp, the run's parameters and its metrics — the perf trajectory
+CI uploads as artifacts.  Human-readable stdout tables stay unchanged.
+
 Scale: by default the harness runs at 'CI scale' — the paper's
 ``phone2000`` and ``stocks`` workloads, plus a scale-up ladder to
 N=20,000 — finishing in minutes.  Set ``REPRO_BENCH_SCALE=full`` to run
@@ -50,6 +56,19 @@ def emit(name: str, lines: list[str]) -> None:
     print(f"\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, params: dict, metrics: dict) -> None:
+    """Persist one schema-versioned JSON benchmark record.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` with the git sha,
+    UTC timestamp, ``params`` (workload knobs) and ``metrics``
+    (measured numbers) — see :mod:`repro.obs.bench` for the schema.
+    """
+    from repro.obs.bench import write_bench_json
+
+    path = write_bench_json(RESULTS_DIR, name, params=params, metrics=metrics)
+    print(f"[bench] wrote {path}")
 
 
 def format_table(title: str, header: list[str], rows: list[list[str]]) -> list[str]:

@@ -8,11 +8,18 @@ Gives the library the operational surface a deployed system would have:
 - ``cell``    — reconstruct one cell, reporting the disk accesses used;
 - ``aggregate`` — run an aggregate query over row/column ranges;
 - ``query``   — run a textual query ('avg() rows 0:100 cols 7:14');
+- ``stats``   — run a random-cell workload with telemetry enabled and
+  dump the metrics registry (pool/pager counters, span timings) as JSON;
 - ``verify``  — audit a model against its source data;
 - ``scatter`` — render the Appendix A scatter plot for a dataset;
 - ``datasets`` — list the built-in synthetic datasets;
 - ``wh-ingest`` / ``wh-list`` / ``wh-verify`` / ``wh-drop`` — manage a
   multi-dataset warehouse catalog.
+
+The query commands take ``--explain`` (print the engine's plan as JSON
+instead of executing) and ``--profile`` (execute with telemetry enabled
+and print the per-query :class:`~repro.obs.profile.QueryProfile` as
+JSON).
 
 Examples::
 
@@ -20,12 +27,16 @@ Examples::
     python -m repro info model/
     python -m repro cell model/ 1234 200
     python -m repro aggregate model/ --function avg --rows 0:100 --cols 7:14
+    python -m repro aggregate model/ --rows 0:100 --explain
+    python -m repro aggregate model/ --rows 0:100 --profile
+    python -m repro stats model/ --queries 500
     python -m repro scatter stocks
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -34,6 +45,7 @@ import numpy as np
 from repro.core import CompressedMatrix, SVDDCompressor
 from repro.data import load_dataset
 from repro.exceptions import ReproError
+from repro.obs import registry
 from repro.query import AggregateQuery, CellQuery, QueryEngine, Selection
 from repro.query.parser import parse_query
 from repro.storage import MatrixStore
@@ -98,8 +110,15 @@ def cmd_info(args) -> int:
 
 def cmd_cell(args) -> int:
     """Handle ``repro cell``: reconstruct one cell with access accounting."""
+    if getattr(args, "profile", False):
+        registry.enable()
     with CompressedMatrix.open(args.model) as store:
         store.u_pool_stats.reset()
+        if getattr(args, "profile", False):
+            result = QueryEngine(store).cell(CellQuery(args.row, args.col))
+            print(f"cell ({args.row}, {args.col}) = {result.value:.6g}")
+            print(result.profile.to_json())
+            return 0
         value = store.cell(args.row, args.col)
         print(f"cell ({args.row}, {args.col}) = {value:.6g}")
         print(f"disk accesses: {store.u_pool_stats.misses}")
@@ -108,31 +127,83 @@ def cmd_cell(args) -> int:
 
 def cmd_aggregate(args) -> int:
     """Handle ``repro aggregate``: run one aggregate over ranges."""
+    if getattr(args, "profile", False):
+        registry.enable()
     with CompressedMatrix.open(args.model) as store:
         rows, cols = store.shape
         selection = Selection(
             rows=_parse_range(args.rows, rows), cols=_parse_range(args.cols, cols)
         )
         query = AggregateQuery(args.function, selection)
-        result = QueryEngine(store).aggregate(query)
+        engine = QueryEngine(store)
+        if getattr(args, "explain", False):
+            print(json.dumps(engine.explain(query), indent=2))
+            return 0
+        result = engine.aggregate(query)
         print(
             f"{args.function}(rows={args.rows}, cols={args.cols}) = "
             f"{result.value:.6g}  ({result.cells_touched} cells)"
         )
+        if result.profile is not None:
+            print(result.profile.to_json())
     return 0
 
 
 def cmd_query(args) -> int:
     """Handle ``repro query``: parse and run a textual query."""
+    if getattr(args, "profile", False):
+        registry.enable()
     with CompressedMatrix.open(args.model) as store:
         engine = QueryEngine(store)
         query = parse_query(args.text)
+        if getattr(args, "explain", False):
+            print(json.dumps(engine.explain(query), indent=2))
+            return 0
         if isinstance(query, CellQuery):
             result = engine.cell(query)
         else:
             result = engine.aggregate(query)
         print(f"{args.text.strip()} = {result.value:.6g}")
         print(f"cells touched: {result.cells_touched}")
+        if result.profile is not None:
+            print(result.profile.to_json())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Handle ``repro stats``: profiled random-cell workload + registry dump.
+
+    Runs ``--queries`` single-cell queries over distinct random rows of
+    the model with telemetry enabled, then dumps the full metrics
+    registry.  With a cold pool this demonstrates the paper's ~1 disk
+    access per reconstructed cell directly from the new counters
+    (``summary.pool_accesses_per_query``).
+    """
+    registry.enable()
+    rng = np.random.default_rng(args.seed)
+    with CompressedMatrix.open(
+        args.model, pool_capacity=args.pool_capacity
+    ) as store:
+        rows, cols = store.shape
+        count = min(args.queries, rows)
+        # Distinct rows: every query is cold, the paper's worst case.
+        row_idx = rng.choice(rows, size=count, replace=False)
+        col_idx = rng.integers(cols, size=count)
+        engine = QueryEngine(store)
+        store.u_pool_stats.reset()
+        store.u_io_stats.reset()
+        for row, col in zip(row_idx, col_idx):
+            engine.cell(CellQuery(int(row), int(col)))
+        pool = store.u_pool_stats
+        summary = {
+            "model": str(Path(args.model).resolve()),
+            "queries": count,
+            "pool_accesses_per_query": pool.accesses / count if count else 0.0,
+            "page_misses_per_query": pool.misses / count if count else 0.0,
+            "zero_row_skips": store.stats["zero_row_skips"],
+        }
+        print(json.dumps({"summary": summary, "registry": registry.snapshot()},
+                         indent=2, default=str))
     return 0
 
 
@@ -254,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     cell.add_argument("model", help="model directory")
     cell.add_argument("row", type=int)
     cell.add_argument("col", type=int)
+    cell.add_argument(
+        "--profile", action="store_true", help="print the QueryProfile as JSON"
+    )
     cell.set_defaults(func=cmd_cell)
 
     aggregate = sub.add_parser("aggregate", help="run an aggregate query")
@@ -263,6 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     aggregate.add_argument("--rows", default=":", help="row range a:b (default all)")
     aggregate.add_argument("--cols", default=":", help="col range a:b (default all)")
+    aggregate.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query plan as JSON instead of executing",
+    )
+    aggregate.add_argument(
+        "--profile", action="store_true", help="print the QueryProfile as JSON"
+    )
     aggregate.set_defaults(func=cmd_aggregate)
 
     query = sub.add_parser("query", help="run a textual query against a model")
@@ -270,7 +352,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "text", help="e.g. 'avg() rows 0:100 cols 7:14' or 'cell(3, 5)'"
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query plan as JSON instead of executing",
+    )
+    query.add_argument(
+        "--profile", action="store_true", help="print the QueryProfile as JSON"
+    )
     query.set_defaults(func=cmd_query)
+
+    stats = sub.add_parser(
+        "stats", help="profiled random-cell workload + metrics registry dump"
+    )
+    stats.add_argument("model", help="model directory")
+    stats.add_argument(
+        "--queries", type=int, default=500, help="number of random cell queries"
+    )
+    stats.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    stats.add_argument(
+        "--pool-capacity", type=int, default=64, help="U-store buffer pool pages"
+    )
+    stats.set_defaults(func=cmd_stats)
 
     verify = sub.add_parser("verify", help="audit a model against its source")
     verify.add_argument("model", help="model directory")

@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core import space
+from repro.obs.logging import log_event
+from repro.obs.registry import registry as _obs
+from repro.obs.tracing import span as _span
 from repro.core.store import CompressedMatrix, _u_columns, _u_page_size
 from repro.core.svd import compute_u_to_store, source_shape
 from repro.core.svdd import SVDDCompressor
@@ -66,28 +70,34 @@ def build_compressed(
 
     num_rows, num_cols = source_shape(source)
     k_max = fitter._candidate_cutoffs(num_rows, num_cols)
-    gram = compute_gram(source)
-    singular, v = spectrum_from_gram(gram, k_max, fitter.eigensolver)
+    pass1_start = time.perf_counter()
+    with _span("build.pass1", rows=num_rows, cols=num_cols):
+        gram = compute_gram(source)
+        singular, v = spectrum_from_gram(gram, k_max, fitter.eigensolver)
+    _record_pass(1, pass1_start, num_rows)
     k_max = singular.shape[0]
     gammas = [fitter._gamma(num_rows, num_cols, k) for k in range(1, k_max + 1)]
     queues = [TopKBuffer(g) for g in gammas]
     sse = np.zeros(k_max)
     row_base = 0
-    for block in _row_chunks(source):
-        count = block.shape[0]
-        proj = block @ v
-        terms = proj[:, :, None] * v.T[None, :, :]
-        recon = np.cumsum(terms, axis=1)
-        diff = block[:, None, :] - recon
-        sse += np.einsum("ckm,ckm->k", diff, diff)
-        keys = (
-            (row_base + np.arange(count))[:, None] * num_cols
-            + np.arange(num_cols)[None, :]
-        ).ravel()
-        for ki in range(k_max):
-            deltas = diff[:, ki, :].ravel()
-            queues[ki].offer(keys, deltas, np.abs(deltas))
-        row_base += count
+    pass2_start = time.perf_counter()
+    with _span("build.pass2", rows=num_rows, k_max=int(k_max)):
+        for block in _row_chunks(source):
+            count = block.shape[0]
+            proj = block @ v
+            terms = proj[:, :, None] * v.T[None, :, :]
+            recon = np.cumsum(terms, axis=1)
+            diff = block[:, None, :] - recon
+            sse += np.einsum("ckm,ckm->k", diff, diff)
+            keys = (
+                (row_base + np.arange(count))[:, None] * num_cols
+                + np.arange(num_cols)[None, :]
+            ).ravel()
+            for ki in range(k_max):
+                deltas = diff[:, ki, :].ravel()
+                queues[ki].offer(keys, deltas, np.abs(deltas))
+            row_base += count
+    _record_pass(2, pass2_start, num_rows)
     epsilon = np.maximum(
         np.array([sse[ki] - queues[ki].retained_score_sq_sum() for ki in range(k_max)]),
         0.0,
@@ -103,15 +113,18 @@ def build_compressed(
     padded_lam = np.zeros(pad_cols)
     padded_lam[:k_opt] = lam_opt
     # Padded columns have zero singular values -> zero U coordinates.
-    u_store = compute_u_to_store(
-        source,
-        padded_lam,
-        padded_v,
-        directory / "u.mat",
-        page_size=_u_page_size(k_opt, bytes_per_value),
-        dtype=factor_dtype,
-    )
-    u_store.close()
+    pass3_start = time.perf_counter()
+    with _span("build.pass3", rows=num_rows, k_opt=k_opt):
+        u_store = compute_u_to_store(
+            source,
+            padded_lam,
+            padded_v,
+            directory / "u.mat",
+            page_size=_u_page_size(k_opt, bytes_per_value),
+            dtype=factor_dtype,
+        )
+        u_store.close()
+    _record_pass(3, pass3_start, num_rows)
 
     np.save(directory / "lambda.npy", lam_opt.astype(factor_dtype))
     np.save(directory / "v.npy", v_opt.astype(factor_dtype))
@@ -131,13 +144,14 @@ def build_compressed(
     # one more cheap pass over the source (row norms).
     zero_rows = []
     index = 0
-    for block in _row_chunks(source):
-        norms = np.abs(block).sum(axis=1)
-        for offset in np.flatnonzero(norms == 0.0):
-            row = index + int(offset)
-            if row not in delta_rows:
-                zero_rows.append(row)
-        index += block.shape[0]
+    with _span("build.zero_row_scan", rows=num_rows):
+        for block in _row_chunks(source):
+            norms = np.abs(block).sum(axis=1)
+            for offset in np.flatnonzero(norms == 0.0):
+                row = index + int(offset)
+                if row not in delta_rows:
+                    zero_rows.append(row)
+            index += block.shape[0]
     if zero_rows:
         np.save(directory / "zero_rows.npy", np.array(sorted(zero_rows), dtype=np.int64))
 
@@ -153,7 +167,36 @@ def build_compressed(
         "bytes_per_value": bytes_per_value,
     }
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    if _obs.enabled:
+        _obs.gauge("build.deltas_retained").set(num_deltas)
+        _obs.gauge("build.k_opt").set(k_opt)
+        log_event(
+            "build.done",
+            directory=str(directory),
+            rows=num_rows,
+            cols=num_cols,
+            k_opt=k_opt,
+            deltas_retained=num_deltas,
+            zero_rows=len(zero_rows),
+        )
     return CompressedMatrix.open(directory)
+
+
+def _record_pass(number: int, start: float, num_rows: int) -> None:
+    """Record one build pass's wall time and throughput (when enabled)."""
+    if not _obs.enabled:
+        return
+    elapsed = time.perf_counter() - start
+    _obs.gauge(f"build.pass{number}.seconds").set(elapsed)
+    rows_per_s = num_rows / elapsed if elapsed > 0 else 0.0
+    _obs.gauge(f"build.pass{number}.rows_per_s").set(rows_per_s)
+    log_event(
+        "build.pass",
+        number=number,
+        seconds=round(elapsed, 6),
+        rows=num_rows,
+        rows_per_s=round(rows_per_s, 1),
+    )
 
 
 def estimate_build_memory(num_cols: int, budget_fraction: float, num_rows: int) -> int:

@@ -31,6 +31,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import registry as _obs
 
 
 def _positions_in(selection: np.ndarray, targets: np.ndarray) -> np.ndarray:
@@ -75,6 +76,8 @@ class DeltaIndex:
         self._rows = self._keys // self._num_cols
         self._cols = self._keys % self._num_cols
         self._col_order: np.ndarray | None = None  # built on first for_col
+        #: Probe accounting: scalar/batched lookups, keys tested, hits.
+        self.stats = {"lookups": 0, "keys_probed": 0, "hits": 0}
 
     @classmethod
     def from_items(cls, items: Iterable[tuple[int, float]], num_cols: int) -> "DeltaIndex":
@@ -129,8 +132,12 @@ class DeltaIndex:
 
     def get(self, key: int, default: float = 0.0) -> float:
         """Value for one cell key, or ``default`` when not stored."""
+        stats = self.stats
+        stats["lookups"] += 1
+        stats["keys_probed"] += 1
         pos = int(np.searchsorted(self._keys, key))
         if pos < self._keys.size and self._keys[pos] == key:
+            stats["hits"] += 1
             return float(self._values[pos])
         return default
 
@@ -155,6 +162,13 @@ class DeltaIndex:
         clipped = np.minimum(pos, self._keys.size - 1)
         found = (pos < self._keys.size) & (self._keys[clipped] == keys)
         out[found] = self._values[clipped[found]]
+        stats = self.stats
+        stats["lookups"] += 1
+        stats["keys_probed"] += int(keys.size)
+        stats["hits"] += int(found.sum())
+        if _obs.enabled:
+            _obs.counter("delta.lookups").inc()
+            _obs.counter("delta.keys_probed").inc(int(keys.size))
         return out
 
     def for_row(self, row: int) -> tuple[np.ndarray, np.ndarray]:
@@ -185,6 +199,11 @@ class DeltaIndex:
         """
         row_sel = np.asarray(row_sel, dtype=np.int64)
         col_sel = np.asarray(col_sel, dtype=np.int64)
+        self.stats["lookups"] += 1
+        self.stats["keys_probed"] += int(self._keys.size)
+        if _obs.enabled:
+            _obs.counter("delta.lookups").inc()
+            _obs.counter("delta.keys_probed").inc(int(self._keys.size))
         if self._keys.size == 0 or row_sel.size == 0 or col_sel.size == 0:
             empty_i = np.empty(0, dtype=np.int64)
             return empty_i, empty_i, empty_i, empty_i, np.empty(0, dtype=np.float64)

@@ -1,0 +1,59 @@
+"""Telemetry: metrics registry, span tracing, structured logs, profiles.
+
+The paper's headline claims are *cost* claims — ~1 disk access per
+reconstructed cell, O(k) reconstruction arithmetic, a 3-pass build —
+and this package is how the reproduction measures them instead of
+asserting them:
+
+- :data:`~repro.obs.registry.registry` — the process-wide
+  :class:`MetricsRegistry` of counters, gauges and ns-precision
+  histograms, which also exports every live buffer pool's and pager's
+  always-on stat structs (``PoolStats``/``IOStats``) in one
+  :meth:`~repro.obs.registry.MetricsRegistry.snapshot`;
+- :func:`~repro.obs.tracing.span` — context-propagating span tracing
+  (``query.aggregate`` → ``query.factor.gemm`` nest automatically);
+- :func:`~repro.obs.logging.log_event` — one-JSON-object-per-line
+  structured logging (build pass events, etc.);
+- :class:`~repro.obs.profile.QueryProfile` — per-query cost breakdown
+  attached to :class:`~repro.query.engine.QueryResult` while telemetry
+  is enabled;
+- :func:`~repro.obs.bench.write_bench_json` — schema-versioned JSON
+  benchmark records (git sha, params, metrics).
+
+Everything is **off by default**: call ``registry.enable()`` (the CLI's
+``--profile`` flag and ``stats`` command do) and the instrumented hot
+paths start recording.  Disabled, every site costs one attribute load
+and a branch — no allocation, no clock reads.
+"""
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_record,
+    git_sha,
+    write_bench_json,
+)
+from repro.obs.logging import JsonLogger, log_event, set_log_stream
+from repro.obs.profile import QueryProfile, StatDelta
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, registry
+from repro.obs.tracing import NULL_SPAN, Span, current_span, span
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "QueryProfile",
+    "Span",
+    "StatDelta",
+    "bench_record",
+    "current_span",
+    "git_sha",
+    "log_event",
+    "registry",
+    "set_log_stream",
+    "span",
+    "write_bench_json",
+]

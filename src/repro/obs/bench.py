@@ -1,0 +1,80 @@
+"""Machine-readable benchmark records.
+
+The free-form ``.txt`` tables under ``benchmarks/results/`` are good
+for humans and useless for trend analysis.  Each benchmark therefore
+also writes a **schema-versioned JSON record** — git sha, UTC
+timestamp, the run's parameters, and its measured metrics — so the
+performance trajectory of the repository is diffable across commits
+and consumable by CI artifact tooling.
+
+Record shape (``schema`` bumps on breaking changes)::
+
+    {
+      "schema": 1,
+      "name": "query_throughput",
+      "git_sha": "abc123…" | null,
+      "timestamp": "2026-08-06T12:00:00+00:00",
+      "params": {...},      # workload knobs: dataset, sizes, budgets
+      "metrics": {...}      # measured numbers only
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["BENCH_SCHEMA_VERSION", "bench_record", "git_sha", "write_bench_json"]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: str | os.PathLike | None = None) -> str | None:
+    """The current commit sha, or None outside a usable git checkout.
+
+    Honors ``GITHUB_SHA``/``GIT_SHA`` first so CI records the exact
+    commit even from shallow or detached checkouts.
+    """
+    for env in ("GITHUB_SHA", "GIT_SHA"):
+        value = os.environ.get(env)
+        if value:
+            return value
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else str(Path(__file__).parent),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def bench_record(name: str, params: dict, metrics: dict) -> dict:
+    """Assemble one schema-versioned benchmark record."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "params": params,
+        "metrics": metrics,
+    }
+
+
+def write_bench_json(
+    directory: str | os.PathLike, name: str, params: dict, metrics: dict
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    record = bench_record(name, params, metrics)
+    path.write_text(json.dumps(record, indent=2, default=str) + "\n")
+    return path

@@ -1,0 +1,60 @@
+"""Structured JSON logging.
+
+One event per line, each a self-contained JSON object with a wall-clock
+timestamp, an event name, and arbitrary fields — the format log
+shippers and `jq` both eat directly.  Events are dropped entirely while
+the registry is disabled, so library code can call
+:func:`log_event` unconditionally.
+
+The default sink is ``sys.stderr`` (stdout stays reserved for command
+output and benchmark tables); tests and embedders redirect it with
+:func:`set_log_stream`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO
+
+from repro.obs.registry import registry
+
+__all__ = ["JsonLogger", "log_event", "set_log_stream"]
+
+
+class JsonLogger:
+    """Writes one JSON object per event line to a stream."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+
+    @property
+    def stream(self) -> IO[str]:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def set_stream(self, stream: IO[str] | None) -> None:
+        """Redirect events (None restores the stderr default)."""
+        self._stream = stream
+
+    def event(self, event: str, **fields) -> None:
+        """Emit one event line (no-op while the registry is disabled)."""
+        if not registry.enabled:
+            return
+        record = {"ts": time.time(), "event": event}
+        record.update(fields)
+        self.stream.write(json.dumps(record, default=str) + "\n")
+
+
+#: Process-wide logger used by the library's own instrumentation.
+logger = JsonLogger()
+
+
+def log_event(event: str, **fields) -> None:
+    """Emit a structured event through the process-wide logger."""
+    logger.event(event, **fields)
+
+
+def set_log_stream(stream: IO[str] | None) -> None:
+    """Redirect the process-wide logger (None restores stderr)."""
+    logger.set_stream(stream)

@@ -1,0 +1,148 @@
+"""Per-query execution profiles.
+
+A :class:`QueryProfile` is the paper's cost model made observable for
+one query: which path answered it (factor space, row streaming, or a
+single-cell probe), how many backend rows it fetched, how many buffer
+pool page accesses and physical reads those cost, and where the
+nanoseconds went (factor gather / GEMM / delta folding / streaming).
+
+The engine only builds profiles while the process-wide registry is
+enabled; a disabled run returns results whose ``profile`` is None and
+pays nothing beyond the guard branch.
+
+:class:`StatDelta` is the capture half: it snapshots a backend's pool,
+pager and delta-index counters before the query and diffs them after,
+duck-typed so the raw :class:`~repro.storage.matrix_store.MatrixStore`
+(``pool_stats``/``io_stats``) and the compressed
+:class:`~repro.core.store.CompressedMatrix`
+(``u_pool_stats``/``u_io_stats``/``delta_index``) both work, and purely
+in-memory backends degrade to all-zero I/O sections.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["QueryProfile", "StatDelta"]
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Execution accounting for one answered query."""
+
+    #: 'factor' | 'stream' | 'cell' — the path that produced the value.
+    path: str
+    #: Aggregate function, or None for cell queries.
+    function: str | None
+    #: Cells the selection covers.
+    cells: int
+    #: Backend row fetches the evaluation performed.
+    rows_fetched: int
+    #: Buffer-pool page accesses during the query (hits+misses+bypasses).
+    pages_read: int
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_bypasses: int = 0
+    pool_evictions: int = 0
+    #: Physical pager reads / bytes under those pool accesses.
+    io_reads: int = 0
+    io_bytes_read: int = 0
+    #: Delta-index probes resolved during the query.
+    delta_lookups: int = 0
+    delta_keys_probed: int = 0
+    #: Wall time of the whole query and of its phases, in nanoseconds.
+    total_ns: int = 0
+    gather_ns: int = 0
+    gemm_ns: int = 0
+    delta_ns: int = 0
+    stream_ns: int = 0
+    #: Backend class name, for context in dumped profiles.
+    backend: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of this query's page accesses served from memory."""
+        return self.pool_hits / self.pages_read if self.pages_read else 0.0
+
+    def to_dict(self) -> dict:
+        """All fields plus the derived ``pool_hit_rate``, JSON-ready."""
+        out = asdict(self)
+        out["pool_hit_rate"] = self.pool_hit_rate
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The profile serialized as JSON (the CLI ``--profile`` output)."""
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+
+def _pool_stats(backend):
+    return getattr(backend, "u_pool_stats", None) or getattr(
+        backend, "pool_stats", None
+    )
+
+
+def _io_stats(backend):
+    return getattr(backend, "u_io_stats", None) or getattr(backend, "io_stats", None)
+
+
+def _delta_stats(backend) -> dict | None:
+    index = getattr(backend, "delta_index", None)
+    return getattr(index, "stats", None)
+
+
+class StatDelta:
+    """Snapshot a backend's counters now; diff them after the query."""
+
+    __slots__ = ("_pool", "_io", "_delta", "_before")
+
+    def __init__(self, backend) -> None:
+        self._pool = _pool_stats(backend)
+        self._io = _io_stats(backend)
+        self._delta = _delta_stats(backend)
+        before: dict[str, int] = {}
+        if self._pool is not None:
+            before["hits"] = self._pool.hits
+            before["misses"] = self._pool.misses
+            before["bypasses"] = self._pool.bypasses
+            before["evictions"] = self._pool.evictions
+        if self._io is not None:
+            before["reads"] = self._io.reads
+            before["bytes_read"] = self._io.bytes_read
+        if self._delta is not None:
+            before["lookups"] = self._delta.get("lookups", 0)
+            before["keys_probed"] = self._delta.get("keys_probed", 0)
+        self._before = before
+
+    def collect(self) -> dict[str, int]:
+        """Counter increments since construction, keyed for QueryProfile."""
+        out = {
+            "pool_hits": 0,
+            "pool_misses": 0,
+            "pool_bypasses": 0,
+            "pool_evictions": 0,
+            "pages_read": 0,
+            "io_reads": 0,
+            "io_bytes_read": 0,
+            "delta_lookups": 0,
+            "delta_keys_probed": 0,
+        }
+        before = self._before
+        if self._pool is not None:
+            out["pool_hits"] = self._pool.hits - before["hits"]
+            out["pool_misses"] = self._pool.misses - before["misses"]
+            out["pool_bypasses"] = self._pool.bypasses - before["bypasses"]
+            out["pool_evictions"] = self._pool.evictions - before["evictions"]
+            out["pages_read"] = (
+                out["pool_hits"] + out["pool_misses"] + out["pool_bypasses"]
+            )
+        if self._io is not None:
+            out["io_reads"] = self._io.reads - before["reads"]
+            out["io_bytes_read"] = self._io.bytes_read - before["bytes_read"]
+        if self._delta is not None:
+            out["delta_lookups"] = self._delta.get("lookups", 0) - before["lookups"]
+            out["delta_keys_probed"] = (
+                self._delta.get("keys_probed", 0) - before["keys_probed"]
+            )
+        return out

@@ -1,0 +1,266 @@
+"""Process-wide metrics registry.
+
+The paper argues in *counters* — disk accesses per reconstructed cell,
+passes over the data, deltas retained — so the reproduction keeps a
+single registry through which every layer's counters are reachable:
+
+- **counters / gauges / histograms** created on demand by name
+  (``registry.counter("delta.lookups").inc()``), histograms carrying
+  nanosecond-precision timing observations from the span tracer;
+- **registered sources** — the always-on per-component stat structs
+  (:class:`~repro.storage.buffer_pool.PoolStats`,
+  :class:`~repro.storage.pager.IOStats`, delta-index stat dicts) held
+  by weak reference, so one :meth:`MetricsRegistry.snapshot` exports
+  every live pool and pager instead of leaving them siloed inside
+  their owners.
+
+Instrumentation is **disabled by default** and must stay near-free when
+off: every hot-path site guards on the plain attribute
+``registry.enabled`` (one load + branch, no allocation), and the
+component stat structs it registers are the same cheap integer fields
+the storage layer has always maintained.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from typing import Callable, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += int(amount)
+
+
+class Gauge:
+    """A point-in-time numeric metric (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observations (count/total/min/max/mean).
+
+    Used for nanosecond span durations; no buckets are kept — the
+    summary is enough to answer "how long did pass 2 take" and "what is
+    the mean per-query GEMM time" without unbounded memory.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """The summary as a JSON-ready dict (bounds None when empty)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager observing elapsed nanoseconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter_ns() - self._start)
+
+
+def _source_dict(stats) -> dict:
+    """Export one registered stat source as a plain dict."""
+    if isinstance(stats, dict):
+        return dict(stats)
+    if hasattr(stats, "to_dict"):
+        return stats.to_dict()
+    raise TypeError(f"unsupported stat source type {type(stats).__name__}")
+
+
+class MetricsRegistry:
+    """Named metrics plus weakly-held component stat sources.
+
+    Args:
+        enabled: initial state of the instrumentation flag.  The
+            process-wide :data:`registry` starts disabled; the CLI's
+            ``--profile``/``stats`` paths and the benchmarks enable it
+            explicitly.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # kind -> list of (name, weakref-to-stats).  Dead refs are
+        # pruned on snapshot; names repeat when many instances share
+        # one (e.g. every test's "u" pool) and are suffixed on export.
+        self._sources: dict[str, list[tuple[str, weakref.ref]]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn instrumentation on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn instrumentation off (guards short-circuit again)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all named metrics (registered sources are kept)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- named metrics ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram())
+
+    def timer(self, name: str) -> _Timer:
+        """Time a ``with`` block into ``histogram(name)`` (nanoseconds)."""
+        return _Timer(self.histogram(name))
+
+    # -- component stat sources ------------------------------------------
+
+    def register_source(self, kind: str, name: str, stats) -> None:
+        """Weakly register a component's stat struct for export.
+
+        ``stats`` is a dataclass with ``to_dict`` (``PoolStats``,
+        ``IOStats``) or a plain dict owned by the component.  The
+        registry never keeps it alive: when the owning pool or pager is
+        garbage collected the entry silently disappears from snapshots.
+        """
+        entry: tuple[str, Callable[[], object | None]]
+        try:
+            entry = (name, weakref.ref(stats))
+        except TypeError:
+            # dicts are not weakref-able; they are tiny, hold directly.
+            entry = (name, lambda stats=stats: stats)
+        with self._lock:
+            self._sources.setdefault(kind, []).append(entry)
+
+    def _live_sources(self, kind: str) -> Iterator[tuple[str, object]]:
+        entries = self._sources.get(kind, [])
+        alive = []
+        for name, ref in entries:
+            stats = ref()
+            if stats is None:
+                continue
+            alive.append((name, ref))
+            yield name, stats
+        if len(alive) != len(entries):
+            with self._lock:
+                self._sources[kind] = alive
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything the registry knows, as one JSON-ready dict."""
+        out: dict = {
+            "enabled": self.enabled,
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+        for kind in sorted(self._sources):
+            exported: dict[str, dict] = {}
+            for name, stats in self._live_sources(kind):
+                key = name
+                suffix = 2
+                while key in exported:
+                    key = f"{name}#{suffix}"
+                    suffix += 1
+                exported[key] = _source_dict(stats)
+            out[kind] = exported
+        return out
+
+
+#: The process-wide default registry.  Disabled until a caller (CLI
+#: ``--profile``/``stats``, a benchmark, a test) enables it.
+registry = MetricsRegistry()

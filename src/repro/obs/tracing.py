@@ -1,0 +1,141 @@
+"""Lightweight span-based tracing with context propagation.
+
+A span is a named, timed section of work.  Spans nest through a
+``contextvars`` stack, so a layer can open a span without knowing who
+called it — ``QueryEngine.aggregate`` opens ``query.aggregate`` and the
+factor fast path's ``query.factor.gemm`` attaches underneath it
+automatically, which is how a :class:`~repro.obs.profile.QueryProfile`
+recovers per-phase timings without the engine threading timer objects
+through every call.
+
+When the process-wide registry is disabled, :func:`span` returns a
+shared no-op singleton: no allocation, no clock read, no context-var
+write — the hot path pays one attribute load and a branch.
+
+Every *finished* span also records its duration into the registry
+histogram ``span.<name>``, so long-lived processes accumulate timing
+distributions (e.g. ``span.build.pass2`` across many builds) that
+``repro stats``-style dumps can export.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+
+from repro.obs.registry import registry
+
+__all__ = ["NULL_SPAN", "Span", "current_span", "span"]
+
+_ACTIVE: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+
+class Span:
+    """One timed section; use as a context manager."""
+
+    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children", "_token")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.start_ns = 0
+        self.end_ns = 0
+        self.children: list["Span"] = []
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "Span":
+        parent = _ACTIVE.get()
+        if parent is not None:
+            parent.children.append(self)
+        self._token = _ACTIVE.set(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end_ns = time.perf_counter_ns()
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+        registry.histogram(f"span.{self.name}").observe(self.duration_ns)
+
+    def set(self, **attrs) -> "Span":
+        """Attach key/value attributes to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds (0 until the span has finished)."""
+        if self.end_ns and self.start_ns:
+            return self.end_ns - self.start_ns
+        return 0
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant span named ``name`` (depth-first), or None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            nested = child.find(name)
+            if nested is not None:
+                return nested
+        return None
+
+    def total_ns(self, name: str) -> int:
+        """Summed duration of all descendant spans named ``name``."""
+        total = 0
+        for child in self.children:
+            if child.name == name:
+                total += child.duration_ns
+            total += child.total_ns(name)
+        return total
+
+    def to_dict(self) -> dict:
+        """The span tree (name, duration, attrs, children), JSON-ready."""
+        return {
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    children: tuple = ()
+    attrs: dict = {}
+    duration_ns = 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def find(self, name: str) -> None:
+        return None
+
+    def total_ns(self, name: str) -> int:
+        return 0
+
+
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name`` (no-op singleton when disabled)."""
+    if not registry.enabled:
+        return NULL_SPAN
+    return Span(name, attrs or None)
+
+
+def current_span() -> Span | None:
+    """The innermost active real span in this context, if any."""
+    return _ACTIVE.get()

@@ -12,11 +12,15 @@ form) — which is precisely how the paper measures Q_err.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.exceptions import QueryError
+from repro.obs.profile import QueryProfile, StatDelta
+from repro.obs.registry import registry as _obs
+from repro.obs.tracing import span as _span
 from repro.query.fastpath import (
     FACTOR_FUNCTIONS,
     factor_aggregate,
@@ -59,11 +63,18 @@ class AggregateQuery:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """An answered query: the value plus execution accounting."""
+    """An answered query: the value plus execution accounting.
+
+    ``profile`` carries the per-query
+    :class:`~repro.obs.profile.QueryProfile` (path taken, page reads,
+    pool hit rate, phase timings) while the process-wide telemetry
+    registry is enabled; it is None on unprofiled runs.
+    """
 
     value: float
     cells_touched: int
     rows_fetched: int
+    profile: QueryProfile | None = field(default=None, compare=False)
 
 
 class _Backend:
@@ -156,7 +167,12 @@ class QueryEngine:
         return self._backend.shape
 
     def cell(self, query: CellQuery | tuple[int, int]) -> QueryResult:
-        """Answer a single-cell query."""
+        """Answer a single-cell query.
+
+        While telemetry is enabled the result carries a
+        :class:`~repro.obs.profile.QueryProfile` measuring the probe's
+        page accesses and wall time.
+        """
         if isinstance(query, tuple):
             query = CellQuery(*query)
         rows, cols = self.shape
@@ -164,8 +180,25 @@ class QueryEngine:
             raise QueryError(f"row {query.row} out of range [0, {rows})")
         if not 0 <= query.col < cols:
             raise QueryError(f"col {query.col} out of range [0, {cols})")
-        value = self._backend.cell(query.row, query.col)
-        return QueryResult(value=value, cells_touched=1, rows_fetched=1)
+        if not _obs.enabled:
+            value = self._backend.cell(query.row, query.col)
+            return QueryResult(value=value, cells_touched=1, rows_fetched=1)
+        capture = StatDelta(self._raw_backend)
+        start = time.perf_counter_ns()
+        with _span("query.cell", row=query.row, col=query.col):
+            value = self._backend.cell(query.row, query.col)
+        profile = QueryProfile(
+            path="cell",
+            function=None,
+            cells=1,
+            rows_fetched=1,
+            total_ns=time.perf_counter_ns() - start,
+            backend=type(self._raw_backend).__name__,
+            **capture.collect(),
+        )
+        return QueryResult(
+            value=value, cells_touched=1, rows_fetched=1, profile=profile
+        )
 
     def cells(self, queries) -> list[QueryResult]:
         """Answer a batch of cell queries in one vectorized pass.
@@ -204,7 +237,34 @@ class QueryEngine:
         rows through the backend in vectorized blocks.  Either way
         ``rows_fetched`` reports the true number of backend row fetches
         the evaluation performed (0 for purely in-memory factor math).
+        While telemetry is enabled the result also carries a
+        :class:`~repro.obs.profile.QueryProfile` with the path taken,
+        page accesses, pool hit rate, and phase timings.
         """
+        if not _obs.enabled:
+            result, _path = self._run_aggregate(query)
+            return result
+        capture = StatDelta(self._raw_backend)
+        start = time.perf_counter_ns()
+        with _span("query.aggregate", function=query.function) as root:
+            result, path = self._run_aggregate(query)
+        profile = QueryProfile(
+            path=path,
+            function=query.function,
+            cells=result.cells_touched,
+            rows_fetched=result.rows_fetched,
+            total_ns=time.perf_counter_ns() - start,
+            gather_ns=root.total_ns("query.factor.gather"),
+            gemm_ns=root.total_ns("query.factor.gemm"),
+            delta_ns=root.total_ns("query.factor.delta"),
+            stream_ns=root.total_ns("query.stream.scan"),
+            backend=type(self._raw_backend).__name__,
+            **capture.collect(),
+        )
+        return replace(result, profile=profile)
+
+    def _run_aggregate(self, query: AggregateQuery) -> tuple[QueryResult, str]:
+        """Execute an aggregate; returns the result and the path taken."""
         row_idx, col_idx = query.selection.resolve(self.shape)
         if row_idx.size == 0 or col_idx.size == 0:
             raise QueryError("aggregate over an empty selection")
@@ -215,10 +275,13 @@ class QueryEngine:
             if outcome is not None:
                 value, rows_fetched = outcome
                 self.stats["fast_path_hits"] += 1
-                return QueryResult(
-                    value=value,
-                    cells_touched=int(row_idx.size * col_idx.size),
-                    rows_fetched=rows_fetched,
+                return (
+                    QueryResult(
+                        value=value,
+                        cells_touched=int(row_idx.size * col_idx.size),
+                        rows_fetched=rows_fetched,
+                    ),
+                    "factor",
                 )
         self.stats["streamed"] += 1
         total = 0.0
@@ -226,22 +289,26 @@ class QueryEngine:
         minimum = np.inf
         maximum = -np.inf
         count = 0
-        for start in range(0, int(row_idx.size), _STREAM_BLOCK_ROWS):
-            chunk = row_idx[start : start + _STREAM_BLOCK_ROWS]
-            block = self._backend.block(chunk, col_idx)
-            if block is None:
-                # Row-at-a-time fallback for backends without a batch form.
-                block = np.stack(
-                    [self._backend.row(int(index))[col_idx] for index in chunk]
-                )
-            total += float(block.sum())
-            total_sq += float((block * block).sum())
-            minimum = min(minimum, float(block.min()))
-            maximum = max(maximum, float(block.max()))
-            count += int(block.size)
+        with _span("query.stream.scan", rows=int(row_idx.size)):
+            for start in range(0, int(row_idx.size), _STREAM_BLOCK_ROWS):
+                chunk = row_idx[start : start + _STREAM_BLOCK_ROWS]
+                block = self._backend.block(chunk, col_idx)
+                if block is None:
+                    # Row-at-a-time fallback for backends without a batch form.
+                    block = np.stack(
+                        [self._backend.row(int(index))[col_idx] for index in chunk]
+                    )
+                total += float(block.sum())
+                total_sq += float((block * block).sum())
+                minimum = min(minimum, float(block.min()))
+                maximum = max(maximum, float(block.max()))
+                count += int(block.size)
         value = self._finalize(query.function, total, total_sq, minimum, maximum, count)
-        return QueryResult(
-            value=value, cells_touched=count, rows_fetched=int(row_idx.size)
+        return (
+            QueryResult(
+                value=value, cells_touched=count, rows_fetched=int(row_idx.size)
+            ),
+            "stream",
         )
 
     def explain(self, query: "AggregateQuery | CellQuery") -> dict:

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.delta_index import DeltaIndex
 from repro.core.model import SVDDModel, SVDModel
 from repro.core.store import CompressedMatrix
+from repro.obs.tracing import span as _span
 
 #: Aggregates the factor path can answer without per-cell values.
 FACTOR_FUNCTIONS = ("sum", "avg", "count", "stddev")
@@ -133,32 +134,35 @@ def factor_aggregate(
         # hence no row fetches.
         return float(count), 0
 
-    gathered = _gather_factors(backend, row_idx)
+    with _span("query.factor.gather", rows=int(row_idx.size)):
+        gathered = _gather_factors(backend, row_idx)
     if gathered is None:
         return None
     scaled_u, _eigenvalues, v, _num_cols, index = gathered
     rows_fetched = factor_fetch_count(backend, row_idx.size)
 
-    v_sel = v[col_idx]  # (m_sel, k)
-    col_sum = v_sel.sum(axis=0)  # (k,)
-    row_sums = scaled_u @ col_sum  # (n,)
-    total = float(row_sums.sum())
-
     need_squares = function == "stddev"
-    total_sq = 0.0
-    if need_squares:
-        gram = v_sel.T @ v_sel  # (k, k)
-        total_sq = float(np.einsum("nk,kl,nl->", scaled_u, gram, scaled_u))
+    with _span("query.factor.gemm"):
+        v_sel = v[col_idx]  # (m_sel, k)
+        col_sum = v_sel.sum(axis=0)  # (k,)
+        row_sums = scaled_u @ col_sum  # (n,)
+        total = float(row_sums.sum())
+
+        total_sq = 0.0
+        if need_squares:
+            gram = v_sel.T @ v_sel  # (k, k)
+            total_sq = float(np.einsum("nk,kl,nl->", scaled_u, gram, scaled_u))
 
     if index is not None and len(index) > 0:
-        row_pos, _col_pos, _rows, delta_cols, values = index.select(
-            row_idx, col_idx
-        )
-        if values.size:
-            total += float(values.sum())
-            if need_squares:
-                base = np.einsum("ik,ik->i", scaled_u[row_pos], v[delta_cols])
-                total_sq += float((2.0 * base * values + values * values).sum())
+        with _span("query.factor.delta", stored=len(index)):
+            row_pos, _col_pos, _rows, delta_cols, values = index.select(
+                row_idx, col_idx
+            )
+            if values.size:
+                total += float(values.sum())
+                if need_squares:
+                    base = np.einsum("ik,ik->i", scaled_u[row_pos], v[delta_cols])
+                    total_sq += float((2.0 * base * values + values * values).sum())
 
     if function == "sum":
         return total, rows_fetched

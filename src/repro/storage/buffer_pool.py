@@ -15,21 +15,31 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError, PageError
+from repro.obs.registry import registry as _obs
 from repro.storage.pager import FilePager
 
 
 @dataclass
 class PoolStats:
-    """Cache behaviour counters for a buffer pool."""
+    """Cache behaviour counters for a buffer pool.
+
+    ``bypasses`` counts page requests that were served from disk but
+    deliberately *not* cached — the scan-resistant tails of large
+    batched reads (:meth:`BufferPool.get_pages` /
+    :meth:`BufferPool.get_page_range`).  They are real accesses: without
+    them a ``read_rows``-heavy workload would appear to have a high hit
+    rate simply because its cold reads were never counted.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    bypasses: int = 0
 
     @property
     def accesses(self) -> int:
-        """Total logical page requests."""
-        return self.hits + self.misses
+        """Total logical page requests (cached or bypassing)."""
+        return self.hits + self.misses + self.bypasses
 
     @property
     def hit_rate(self) -> float:
@@ -41,6 +51,18 @@ class PoolStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.bypasses = 0
+
+    def to_dict(self) -> dict:
+        """Counters as a JSON-ready dict (registry export format)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "accesses": self.accesses,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class BufferPool:
@@ -59,10 +81,16 @@ class BufferPool:
         pager: the page source.
         capacity: maximum number of cached pages (>= 1).
         policy: ``"lru"`` or ``"clock"``.
+        name: label under which the pool's counters are exported by the
+            metrics registry; defaults to the backing file's name.
     """
 
     def __init__(
-        self, pager: FilePager, capacity: int = 64, policy: str = "lru"
+        self,
+        pager: FilePager,
+        capacity: int = 64,
+        policy: str = "lru",
+        name: str | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -73,7 +101,9 @@ class BufferPool:
         self.pager = pager
         self.capacity = capacity
         self.policy = policy
+        self.name = name if name is not None else pager.path.name
         self.stats = PoolStats()
+        _obs.register_source("pools", self.name, self.stats)
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self._pinned: set[int] = set()
         # CLOCK state: reference bits and the hand's position.
@@ -126,15 +156,18 @@ class BufferPool:
         missing = ids[~hit_mask].tolist()
         if missing:
             loaded = self.pager.read_pages(missing)
-            self.stats.misses += len(missing)
             out.update(loaded)
+            cached_tail = missing
             if len(missing) >= self.capacity:
                 # Scan resistance: a miss batch at least as large as the
                 # pool would evict everything resident only to be evicted
                 # itself by the end of the batch.  Keep the resident set
-                # and cache just the tail of the scan.
-                missing = missing[-max(self.capacity // 2, 1) :]
-            for pid in missing:
+                # and cache just the tail of the scan; the rest of the
+                # batch bypasses the cache but still counts as accesses.
+                cached_tail = missing[-max(self.capacity // 2, 1) :]
+            self.stats.misses += len(cached_tail)
+            self.stats.bypasses += len(missing) - len(cached_tail)
+            for pid in cached_tail:
                 self._insert(pid, loaded[pid])
         return out
 
@@ -157,14 +190,23 @@ class BufferPool:
         last = int(ids[-1])
         if self._pages:
             cached = np.fromiter(self._pages.keys(), dtype=np.int64)
-            hits = int(np.isin(ids, cached).sum())
+            hit_mask = np.isin(ids, cached)
         else:
-            hits = 0
-        self.stats.hits += hits
-        self.stats.misses += ids.size - hits
+            hit_mask = np.zeros(ids.size, dtype=bool)
+        self.stats.hits += int(hit_mask.sum())
         blob = self.pager.read_page_span(first, last)
+        # The span fetched every page first..last; the unrequested ones
+        # are coalescing gaps (the pager cannot know the requested set).
+        self.pager.stats.gap_pages += (last - first + 1) - int(ids.size)
         page_size = self.pager.page_size
         keep = ids[-max(self.capacity // 2, 1) :].tolist()
+        keep_set = set(keep)
+        # Missed pages that join the cache are misses; the rest of the
+        # span's requested pages bypass the cache (still accesses).
+        missed = ids[~hit_mask].tolist()
+        cached_misses = sum(1 for pid in missed if pid in keep_set)
+        self.stats.misses += cached_misses
+        self.stats.bypasses += len(missed) - cached_misses
         for pid in keep:
             if pid not in self._pages:
                 offset = (pid - first) * page_size

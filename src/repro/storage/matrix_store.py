@@ -37,6 +37,8 @@ from repro.exceptions import (
     QueryError,
     ShapeError,
 )
+from repro.obs.registry import registry as _obs
+from repro.obs.tracing import span as _span
 from repro.storage.buffer_pool import BufferPool, read_span
 from repro.storage.pager import PAGE_SIZE_DEFAULT, FilePager
 
@@ -298,6 +300,14 @@ class MatrixStore:
         idx = np.asarray(indices, dtype=np.int64).ravel()
         if idx.size == 0:
             return np.empty((0, self._cols), dtype=np.float64)
+        if _obs.enabled:
+            _obs.counter("store.read_rows.calls").inc()
+            _obs.counter("store.read_rows.rows").inc(int(idx.size))
+            with _span("store.read_rows", rows=int(idx.size)):
+                return self._read_rows(idx)
+        return self._read_rows(idx)
+
+    def _read_rows(self, idx: np.ndarray) -> np.ndarray:
         if idx.min() < 0 or idx.max() >= self._rows:
             raise QueryError(
                 f"row selection outside [0, {self._rows}): "

@@ -44,3 +44,21 @@ def low_rank(rng) -> np.ndarray:
     u = rng.standard_normal((80, 3))
     v = rng.standard_normal((3, 40))
     return u @ v
+
+
+@pytest.fixture()
+def enabled_registry():
+    """The process-wide telemetry registry, enabled for one test.
+
+    Restores the disabled/empty state afterwards so later tests neither
+    observe leaked counters nor pay the enabled-path cost.
+    """
+    from repro.obs import registry
+
+    registry.reset()
+    registry.enable()
+    try:
+        yield registry
+    finally:
+        registry.disable()
+        registry.reset()

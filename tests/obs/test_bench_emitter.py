@@ -1,0 +1,89 @@
+"""Tests for the machine-readable benchmark record emitter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_record,
+    git_sha,
+    write_bench_json,
+)
+
+
+class TestGitSha:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "cafe1234")
+        assert git_sha() == "cafe1234"
+
+    def test_falls_back_to_git(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_SHA", raising=False)
+        monkeypatch.delenv("GIT_SHA", raising=False)
+        sha = git_sha()
+        # This test runs inside the repository checkout.
+        assert sha is None or len(sha) == 40
+
+    def test_none_outside_a_checkout(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("GITHUB_SHA", raising=False)
+        monkeypatch.delenv("GIT_SHA", raising=False)
+        assert git_sha(cwd=tmp_path) is None
+
+
+class TestRecords:
+    def test_record_shape(self, monkeypatch):
+        monkeypatch.setenv("GIT_SHA", "deadbeef")
+        record = bench_record("demo", params={"n": 10}, metrics={"qps": 5.0})
+        assert record["schema"] == BENCH_SCHEMA_VERSION
+        assert record["name"] == "demo"
+        assert record["git_sha"] == "deadbeef"
+        assert record["params"] == {"n": 10}
+        assert record["metrics"] == {"qps": 5.0}
+        # UTC ISO timestamp.
+        assert record["timestamp"].endswith("+00:00")
+
+    def test_write_creates_named_json(self, tmp_path):
+        path = write_bench_json(
+            tmp_path / "results", "storage_access", params={}, metrics={"m": 1}
+        )
+        assert path.name == "BENCH_storage_access.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == BENCH_SCHEMA_VERSION
+        assert loaded["metrics"] == {"m": 1}
+
+    def test_rewrite_overwrites(self, tmp_path):
+        write_bench_json(tmp_path, "x", params={}, metrics={"v": 1})
+        path = write_bench_json(tmp_path, "x", params={}, metrics={"v": 2})
+        assert json.loads(path.read_text())["metrics"] == {"v": 2}
+
+
+class TestLogging:
+    def test_log_event_json_lines(self, enabled_registry):
+        import io
+
+        from repro.obs import log_event, set_log_stream
+
+        stream = io.StringIO()
+        set_log_stream(stream)
+        try:
+            log_event("build.pass", number=1, seconds=0.5)
+        finally:
+            set_log_stream(None)
+        line = json.loads(stream.getvalue())
+        assert line["event"] == "build.pass"
+        assert line["number"] == 1
+        assert "ts" in line
+
+    def test_log_event_silent_when_disabled(self):
+        import io
+
+        from repro.obs import log_event, registry, set_log_stream
+
+        assert registry.enabled is False
+        stream = io.StringIO()
+        set_log_stream(stream)
+        try:
+            log_event("noisy", value=1)
+        finally:
+            set_log_stream(None)
+        assert stream.getvalue() == ""

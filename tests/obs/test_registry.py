@@ -1,0 +1,128 @@
+"""Tests for the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestMetricTypes:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (10.0, 20.0, 60.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 90.0
+        assert histogram.minimum == 10.0
+        assert histogram.maximum == 60.0
+        assert histogram.mean == pytest.approx(30.0)
+
+    def test_empty_histogram_exports_none_bounds(self):
+        empty = Histogram().to_dict()
+        assert empty["count"] == 0
+        assert empty["min"] is None and empty["max"] is None
+        assert empty["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_disabled_by_default(self):
+        assert MetricsRegistry().enabled is False
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_enable_disable(self):
+        reg = MetricsRegistry()
+        reg.enable()
+        assert reg.enabled
+        reg.disable()
+        assert not reg.enabled
+
+    def test_reset_drops_named_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.counter("a").value == 0
+
+    def test_timer_observes_nanoseconds(self):
+        reg = MetricsRegistry()
+        with reg.timer("work"):
+            pass
+        histogram = reg.histogram("work")
+        assert histogram.count == 1
+        assert histogram.total >= 0
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(7.0)
+        snap = reg.snapshot()
+        assert snap["enabled"] is False
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestSources:
+    def test_registered_object_source_exported(self):
+        from repro.storage.buffer_pool import PoolStats
+
+        reg = MetricsRegistry()
+        stats = PoolStats()
+        stats.hits = 4
+        reg.register_source("pools", "u", stats)
+        assert reg.snapshot()["pools"]["u"]["hits"] == 4
+
+    def test_registered_dict_source_exported(self):
+        reg = MetricsRegistry()
+        stats = {"lookups": 2}
+        reg.register_source("deltas", "idx", stats)
+        assert reg.snapshot()["deltas"]["idx"] == {"lookups": 2}
+
+    def test_name_collisions_suffixed(self):
+        from repro.storage.buffer_pool import PoolStats
+
+        reg = MetricsRegistry()
+        first, second = PoolStats(), PoolStats()
+        reg.register_source("pools", "u", first)
+        reg.register_source("pools", "u", second)
+        assert set(reg.snapshot()["pools"]) == {"u", "u#2"}
+
+    def test_dead_sources_pruned(self):
+        from repro.storage.buffer_pool import PoolStats
+
+        reg = MetricsRegistry()
+        stats = PoolStats()
+        reg.register_source("pools", "u", stats)
+        del stats
+        assert reg.snapshot()["pools"] == {}
+
+    def test_live_components_register_themselves(self, tmp_path, enabled_registry):
+        import numpy as np
+
+        from repro.storage import MatrixStore
+
+        store = MatrixStore.create(tmp_path / "m.mat", np.eye(4))
+        try:
+            snap = enabled_registry.snapshot()
+            assert "m.mat" in snap["pools"]
+            assert "m.mat" in snap["pagers"]
+        finally:
+            store.close()

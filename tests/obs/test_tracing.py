@@ -1,0 +1,71 @@
+"""Tests for span tracing."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_SPAN, current_span, registry, span
+from repro.obs.tracing import Span
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_singleton(self):
+        assert registry.enabled is False
+        assert span("anything") is NULL_SPAN
+        assert span("other", rows=3) is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("x") as active:
+            assert active is NULL_SPAN
+        assert NULL_SPAN.duration_ns == 0
+        assert NULL_SPAN.find("x") is None
+        assert NULL_SPAN.total_ns("x") == 0
+        assert NULL_SPAN.set(rows=1) is NULL_SPAN
+
+    def test_no_histograms_recorded_when_disabled(self):
+        registry.reset()
+        with span("quiet"):
+            pass
+        assert registry.snapshot()["histograms"] == {}
+
+
+class TestEnabled:
+    def test_real_span_times_and_records(self, enabled_registry):
+        with span("work", rows=5) as active:
+            assert isinstance(active, Span)
+            assert current_span() is active
+        assert active.duration_ns > 0
+        assert active.attrs == {"rows": 5}
+        assert enabled_registry.histogram("span.work").count == 1
+        assert current_span() is None
+
+    def test_nesting_attaches_children(self, enabled_registry):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                with span("leaf"):
+                    pass
+        assert outer.children == [inner]
+        assert outer.find("leaf") is inner.children[0]
+        assert outer.find("missing") is None
+
+    def test_total_ns_sums_repeated_descendants(self, enabled_registry):
+        with span("root") as root:
+            for _ in range(3):
+                with span("step"):
+                    pass
+        total = root.total_ns("step")
+        assert total > 0
+        assert total == sum(child.duration_ns for child in root.children)
+        assert total <= root.duration_ns
+
+    def test_set_updates_attributes(self, enabled_registry):
+        with span("s") as active:
+            active.set(path="factor", rows=7)
+        assert active.attrs == {"path": "factor", "rows": 7}
+
+    def test_to_dict_round_trips_tree(self, enabled_registry):
+        with span("root", depth=0) as root:
+            with span("child"):
+                pass
+        tree = root.to_dict()
+        assert tree["name"] == "root"
+        assert tree["attrs"] == {"depth": 0}
+        assert [child["name"] for child in tree["children"]] == ["child"]

@@ -72,6 +72,82 @@ class TestCaching:
         assert pool.cached_pages() == 0
 
 
+class TestBatchedBypassAccounting:
+    """Pages served around the cache (scan resistance) count as
+    ``bypasses``, so batched workloads cannot fake a high hit rate."""
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_small_batch_fully_cached(self, pager, policy):
+        pool = BufferPool(pager, capacity=4, policy=policy)
+        pool.get_pages([0, 1, 2])
+        assert pool.stats.misses == 3
+        assert pool.stats.bypasses == 0
+        assert pool.cached_pages() == 3
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_scan_batch_bypasses_cache(self, pager, policy):
+        pool = BufferPool(pager, capacity=4, policy=policy)
+        data = pool.get_pages(range(10))
+        # Only the scan tail (capacity // 2 pages) joins the cache.
+        assert pool.stats.misses == 2
+        assert pool.stats.bypasses == 8
+        assert pool.stats.accesses == 10
+        assert pool.cached_pages() == 2
+        # Bypassed pages were still served correctly.
+        assert data[0] == bytes([0]) * 128
+
+    def test_resident_set_survives_scan(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get_page(0)
+        pool.get_pages(range(1, 10))  # 9 misses >= capacity -> scan mode
+        pool.get_page(0)
+        assert pool.stats.hits == 1  # page 0 was not evicted by the scan
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_page_range_bypasses(self, pager, policy):
+        pool = BufferPool(pager, capacity=4, policy=policy)
+        first, blob = pool.get_page_range(range(10))
+        assert first == 0 and len(blob) == 10 * 128
+        assert pool.stats.misses == 2  # the kept tail: pages 8 and 9
+        assert pool.stats.bypasses == 8
+        assert pool.cached_pages() == 2
+
+    def test_page_range_counts_gap_pages(self, pager):
+        pool = BufferPool(pager, capacity=16)
+        pager.stats.reset()
+        pool.get_page_range([0, 5, 9])
+        # The span read fetched 10 pages for 3 requested ones.
+        assert pager.stats.gap_pages == 7
+        assert pool.stats.misses == 3
+        assert pool.stats.bypasses == 0
+
+    def test_hit_rate_stays_honest_under_bypasses(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get_pages(range(10))  # 0 hits over 10 accesses
+        assert pool.stats.hit_rate == 0.0
+        pool.get_page(9)  # tail page stayed cached
+        assert pool.stats.hit_rate == pytest.approx(1 / 11)
+
+    def test_reset_zeroes_bypasses(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get_pages(range(10))
+        assert pool.stats.bypasses > 0
+        pool.stats.reset()
+        assert pool.stats.bypasses == 0
+        assert pool.stats.accesses == 0
+
+    def test_to_dict_exports_all_counters(self, pager):
+        pool = BufferPool(pager, capacity=4)
+        pool.get_pages(range(10))
+        pool.get_page(9)
+        exported = pool.stats.to_dict()
+        assert exported["hits"] == 1
+        assert exported["misses"] == 2
+        assert exported["bypasses"] == 8
+        assert exported["accesses"] == 11
+        assert exported["hit_rate"] == pytest.approx(1 / 11)
+
+
 class TestPinning:
     def test_pinned_pages_survive_pressure(self, pager):
         pool = BufferPool(pager, capacity=2)

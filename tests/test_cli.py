@@ -112,6 +112,106 @@ class TestQueries:
         assert main(["cell", str(model_dir), "9999", "0"]) == 1
 
 
+class TestTelemetryFlags:
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        """CLI --profile/stats enable the process-wide registry; put it
+        back so later tests run with telemetry off."""
+        from repro.obs import registry
+
+        yield
+        registry.disable()
+        registry.reset()
+
+    def test_aggregate_explain_prints_plan_without_executing(self, model_dir, capsys):
+        import json
+
+        code = main(
+            [
+                "aggregate",
+                str(model_dir),
+                "--function",
+                "sum",
+                "--rows",
+                "0:40",
+                "--cols",
+                "0:20",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["path"] == "factor"
+        assert plan["cells"] == 40 * 20
+        assert plan["estimated_row_fetches"] == 40
+
+    def test_aggregate_profile_matches_explain_estimate(self, model_dir, capsys):
+        import json
+
+        args = [
+            "aggregate",
+            str(model_dir),
+            "--function",
+            "sum",
+            "--rows",
+            "0:40",
+            "--cols",
+            "0:20",
+        ]
+        assert main(args + ["--explain"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+
+        assert main(args + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        profile = json.loads(out[out.index("{") :])
+        assert profile["path"] == "factor"
+        assert profile["pages_read"] == plan["estimated_row_fetches"]
+        assert profile["rows_fetched"] == plan["estimated_row_fetches"]
+
+    def test_cell_profile_reports_one_page(self, model_dir, capsys):
+        import json
+
+        assert main(["cell", str(model_dir), "10", "100", "--profile"]) == 0
+        out = capsys.readouterr().out
+        profile = json.loads(out[out.index("{") :])
+        assert profile["path"] == "cell"
+        assert profile["pages_read"] == 1
+
+    def test_query_explain(self, model_dir, capsys):
+        import json
+
+        assert main(
+            ["query", str(model_dir), "avg() rows 0:50 cols 0:30", "--explain"]
+        ) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan == {"path": "factor", "cells": 1500, "estimated_row_fetches": 50}
+
+    def test_query_profile(self, model_dir, capsys):
+        import json
+
+        assert main(
+            ["query", str(model_dir), "cell(10, 100)", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        profile = json.loads(out[out.index("{") :])
+        assert profile["path"] == "cell"
+
+    def test_stats_command_dumps_registry(self, model_dir, capsys):
+        import json
+
+        assert main(["stats", str(model_dir), "--queries", "50"]) == 0
+        dump = json.loads(capsys.readouterr().out)
+        summary = dump["summary"]
+        assert summary["queries"] == 50
+        # The paper's claim: ~1 pool access per cold random cell (zero-row
+        # flagged queries cost none at all).
+        assert summary["pool_accesses_per_query"] <= 1.0
+        registry_dump = dump["registry"]
+        assert registry_dump["enabled"] is True
+        assert any(name.endswith("u.mat") for name in registry_dump["pools"])
+        assert "span.query.cell" in registry_dump["histograms"]
+
+
 class TestScatterAndDatasets:
     def test_scatter(self, capsys):
         assert main(["scatter", "phone100", "--width", "40", "--height", "10"]) == 0
