@@ -10,6 +10,9 @@ Gives the library the operational surface a deployed system would have:
 - ``query``   — run a textual query ('avg() rows 0:100 cols 7:14');
 - ``stats``   — run a random-cell workload with telemetry enabled and
   dump the metrics registry (pool/pager counters, span timings) as JSON;
+- ``fsck``    — verify a model directory against its integrity manifest
+  (full SHA-256 by default, ``--quick`` for sizes only) and confirm the
+  model actually opens;
 - ``verify``  — audit a model against its source data;
 - ``scatter`` — render the Appendix A scatter plot for a dataset;
 - ``datasets`` — list the built-in synthetic datasets;
@@ -207,6 +210,32 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_fsck(args) -> int:
+    """Handle ``repro fsck``: integrity-check a model directory.
+
+    Verifies every file against the manifest (SHA-256 + sizes; sizes
+    only with ``--quick``), then attempts a strict ``open()`` so purely
+    structural damage (bad meta, shape mismatches) is caught even on
+    legacy directories without a manifest.  Exit code 0 only when both
+    checks pass.
+    """
+    from repro.storage.integrity import verify_manifest
+
+    report = verify_manifest(args.model, deep=not args.quick)
+    out = report.to_dict()
+    try:
+        CompressedMatrix.open(args.model).close()
+        out["opens"] = "ok"
+        opens_ok = True
+    except ReproError as exc:
+        out["opens"] = f"error: {exc}"
+        opens_ok = False
+    ok = report.ok and opens_ok
+    out["ok"] = ok
+    print(json.dumps(out, indent=2))
+    return 0 if ok else 1
+
+
 def cmd_verify(args) -> int:
     """Handle ``repro verify``: audit a model against its source."""
     from repro.core.verify import verify_model
@@ -374,6 +403,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--pool-capacity", type=int, default=64, help="U-store buffer pool pages"
     )
     stats.set_defaults(func=cmd_stats)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify a model directory against its integrity manifest"
+    )
+    fsck.add_argument("model", help="model directory")
+    fsck.add_argument(
+        "--quick",
+        action="store_true",
+        help="compare file sizes only (skip SHA-256 hashing)",
+    )
+    fsck.set_defaults(func=cmd_fsck)
 
     verify = sub.add_parser("verify", help="audit a model against its source")
     verify.add_argument("model", help="model directory")

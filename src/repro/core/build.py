@@ -34,7 +34,9 @@ from repro.core.store import CompressedMatrix, _u_columns, _u_page_size
 from repro.core.svd import compute_u_to_store, source_shape
 from repro.core.svdd import SVDDCompressor
 from repro.exceptions import FormatError
+from repro.storage.atomic import staged_directory
 from repro.storage.delta_file import DeltaFile
+from repro.storage.integrity import write_manifest
 from repro.storage.matrix_store import MatrixStore
 
 
@@ -62,7 +64,6 @@ def build_compressed(
         raise FormatError(f"bytes_per_value must be 4 or 8, got {bytes_per_value}")
     factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     fitter = compressor or SVDDCompressor(budget_fraction=budget_fraction)
 
     from repro.core.svd import _row_chunks, compute_gram, spectrum_from_gram
@@ -105,68 +106,74 @@ def build_compressed(
     k_opt = int(np.argmin(epsilon)) + 1
     lam_opt, v_opt = singular[:k_opt], v[:, :k_opt]
 
-    # Pass 3: U straight to the destination page file, padded to one row
-    # per page (the physical layout CompressedMatrix.open expects).
+    # Pass 3 onward writes the model files; they are assembled in a
+    # staging sibling and atomically swapped into ``directory`` so an
+    # interrupted build leaves either the previous model or nothing.
     pad_cols = _u_columns(k_opt, bytes_per_value)
     padded_v = np.zeros((num_cols, pad_cols))
     padded_v[:, :k_opt] = v_opt
     padded_lam = np.zeros(pad_cols)
     padded_lam[:k_opt] = lam_opt
     # Padded columns have zero singular values -> zero U coordinates.
-    pass3_start = time.perf_counter()
-    with _span("build.pass3", rows=num_rows, k_opt=k_opt):
-        u_store = compute_u_to_store(
-            source,
-            padded_lam,
-            padded_v,
-            directory / "u.mat",
-            page_size=_u_page_size(k_opt, bytes_per_value),
-            dtype=factor_dtype,
-        )
-        u_store.close()
-    _record_pass(3, pass3_start, num_rows)
+    with staged_directory(directory) as staging:
+        pass3_start = time.perf_counter()
+        with _span("build.pass3", rows=num_rows, k_opt=k_opt):
+            u_store = compute_u_to_store(
+                source,
+                padded_lam,
+                padded_v,
+                staging / "u.mat",
+                page_size=_u_page_size(k_opt, bytes_per_value),
+                dtype=factor_dtype,
+            )
+            u_store.close()
+        _record_pass(3, pass3_start, num_rows)
 
-    np.save(directory / "lambda.npy", lam_opt.astype(factor_dtype))
-    np.save(directory / "v.npy", v_opt.astype(factor_dtype))
+        np.save(staging / "lambda.npy", lam_opt.astype(factor_dtype))
+        np.save(staging / "v.npy", v_opt.astype(factor_dtype))
 
-    keys, deltas, _scores = queues[k_opt - 1].finalize()
-    num_deltas = 0
-    if keys.shape[0]:
-        num_deltas = DeltaFile.write(
-            directory / "deltas.bin", zip(keys.tolist(), deltas.tolist())
-        )
-    delta_rows = {int(key) // num_cols for key in keys}
+        keys, deltas, _scores = queues[k_opt - 1].finalize()
+        num_deltas = 0
+        if keys.shape[0]:
+            num_deltas = DeltaFile.write(
+                staging / "deltas.bin", zip(keys.tolist(), deltas.tolist())
+            )
+        delta_rows = {int(key) // num_cols for key in keys}
 
-    # Zero-row flags need U row emptiness; derive from the source pass
-    # statistics instead of re-reading U: a row is all-zero iff its
-    # projection onto every axis is zero AND it holds no delta, which
-    # for non-negative data equals the row itself being zero.  Detect by
-    # one more cheap pass over the source (row norms).
-    zero_rows = []
-    index = 0
-    with _span("build.zero_row_scan", rows=num_rows):
-        for block in _row_chunks(source):
-            norms = np.abs(block).sum(axis=1)
-            for offset in np.flatnonzero(norms == 0.0):
-                row = index + int(offset)
-                if row not in delta_rows:
-                    zero_rows.append(row)
-            index += block.shape[0]
-    if zero_rows:
-        np.save(directory / "zero_rows.npy", np.array(sorted(zero_rows), dtype=np.int64))
+        # Zero-row flags need U row emptiness; derive from the source pass
+        # statistics instead of re-reading U: a row is all-zero iff its
+        # projection onto every axis is zero AND it holds no delta, which
+        # for non-negative data equals the row itself being zero.  Detect by
+        # one more cheap pass over the source (row norms).
+        zero_rows = []
+        index = 0
+        with _span("build.zero_row_scan", rows=num_rows):
+            for block in _row_chunks(source):
+                norms = np.abs(block).sum(axis=1)
+                for offset in np.flatnonzero(norms == 0.0):
+                    row = index + int(offset)
+                    if row not in delta_rows:
+                        zero_rows.append(row)
+                index += block.shape[0]
+        if zero_rows:
+            np.save(
+                staging / "zero_rows.npy",
+                np.array(sorted(zero_rows), dtype=np.int64),
+            )
 
-    meta = {
-        "kind": "svdd",
-        "rows": num_rows,
-        "cols": num_cols,
-        "cutoff": k_opt,
-        "num_deltas": num_deltas,
-        "bloom": fitter.use_bloom,
-        "bloom_fpr": fitter.bloom_fpr if fitter.use_bloom else None,
-        "zero_rows": len(zero_rows),
-        "bytes_per_value": bytes_per_value,
-    }
-    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+        meta = {
+            "kind": "svdd",
+            "rows": num_rows,
+            "cols": num_cols,
+            "cutoff": k_opt,
+            "num_deltas": num_deltas,
+            "bloom": fitter.use_bloom,
+            "bloom_fpr": fitter.bloom_fpr if fitter.use_bloom else None,
+            "zero_rows": len(zero_rows),
+            "bytes_per_value": bytes_per_value,
+        }
+        (staging / "meta.json").write_text(json.dumps(meta, indent=2))
+        write_manifest(staging)
     if _obs.enabled:
         _obs.gauge("build.deltas_retained").set(num_deltas)
         _obs.gauge("build.k_opt").set(k_opt)

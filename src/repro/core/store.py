@@ -16,10 +16,20 @@ directory:
 <dir>/lambda.npy     eigenvalues (pinned in memory on open)
 <dir>/v.npy          V matrix (pinned in memory on open)
 <dir>/deltas.bin     outlier records (loaded into the hash table on open)
+<dir>/manifest.json  per-file SHA-256 + sizes (integrity manifest)
 ```
 
 Disk accesses are observable through the underlying buffer-pool
 statistics; the storage benchmark asserts the 1-access claim with them.
+
+Because the model *replaces* the raw matrix on disk, persistence is
+crash-safe: :meth:`CompressedMatrix.save` assembles the directory in a
+staging sibling, fsyncs it, and renames it into place, so an
+interrupted save leaves either the previous model or a directory
+``open()`` cleanly rejects.  ``open(on_corrupt="degraded")`` downgrades
+a model whose *optional* artifacts (``deltas.bin``, ``zero_rows.npy``)
+fail validation to SVD-only answers instead of refusing service; the
+factor files themselves are always load-bearing and always verified.
 """
 
 from __future__ import annotations
@@ -33,8 +43,18 @@ import numpy as np
 from repro.core import space
 from repro.core.delta_index import DeltaIndex
 from repro.core.model import SVDDModel, SVDModel, cell_key
-from repro.exceptions import FormatError, QueryError
+from repro.exceptions import (
+    ChecksumError,
+    ConfigurationError,
+    FormatError,
+    QueryError,
+    ReproError,
+)
+from repro.obs.logging import log_event
+from repro.obs.registry import registry as _obs
+from repro.storage.atomic import staged_directory
 from repro.storage.delta_file import DeltaFile
+from repro.storage.integrity import load_manifest, write_manifest
 from repro.storage.matrix_store import MatrixStore
 from repro.structures.bloom import BloomFilter
 
@@ -48,6 +68,13 @@ _LAMBDA_NAME = "lambda.npy"
 _V_NAME = "v.npy"
 _DELTAS_NAME = "deltas.bin"
 _ZERO_ROWS_NAME = "zero_rows.npy"
+
+#: Keys ``meta.json`` must define for a directory to be a model at all.
+_REQUIRED_META_KEYS = ("kind", "rows", "cols", "cutoff", "num_deltas")
+
+#: Files the store cannot answer any query without; corruption here is
+#: fatal even under ``on_corrupt="degraded"``.
+_CRITICAL_FILES = (_U_NAME, _LAMBDA_NAME, _V_NAME)
 
 
 def _u_columns(cutoff: int, item_size: int) -> int:
@@ -105,6 +132,12 @@ class CompressedMatrix:
     ) -> "CompressedMatrix":
         """Serialize a fitted model to ``directory`` and open it.
 
+        The directory is assembled in a staging sibling, fsynced, and
+        atomically swapped into place, so a crash at any point leaves
+        either the previous model (if one existed) or no model — never
+        a torn one.  An integrity manifest (per-file SHA-256 + sizes)
+        is written beside the model files.
+
         Args:
             bytes_per_value: on-disk precision of the factor matrices —
                 8 stores float64, 4 stores float32.  Halving 'b' lets
@@ -119,102 +152,268 @@ class CompressedMatrix:
             )
         factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         svd = model.svd if isinstance(model, SVDDModel) else model
         deltas = model.deltas if isinstance(model, SVDDModel) else None
 
-        padded_u = svd.u
-        pad_cols = _u_columns(svd.cutoff, bytes_per_value)
-        if pad_cols > svd.cutoff:
-            padded_u = np.zeros((svd.num_rows, pad_cols))
-            padded_u[:, : svd.cutoff] = svd.u
-        u_store = MatrixStore.create(
-            directory / _U_NAME,
-            padded_u,
-            page_size=_u_page_size(svd.cutoff, bytes_per_value),
-            dtype=factor_dtype,
-        )
-        np.save(directory / _LAMBDA_NAME, svd.eigenvalues.astype(factor_dtype))
-        np.save(directory / _V_NAME, svd.v.astype(factor_dtype))
-        num_deltas = 0
-        delta_rows: set[int] = set()
-        if deltas is not None and len(deltas) > 0:
-            num_deltas = DeltaFile.write(directory / _DELTAS_NAME, deltas.items())
-            delta_rows = {key // svd.num_cols for key, _d in deltas.items()}
-        # Section 6.2 'practical issue': flag all-zero customers so their
-        # cells are answered without touching the disk at all.  A row is
-        # provably all-zero when its U coordinates are zero and it holds
-        # no delta corrections.
-        zero_u = np.flatnonzero(~svd.u.any(axis=1))
-        zero_rows = np.array(
-            sorted(set(zero_u.tolist()) - delta_rows), dtype=np.int64
-        )
-        if zero_rows.size:
-            np.save(directory / _ZERO_ROWS_NAME, zero_rows)
-        has_bloom = isinstance(model, SVDDModel) and model.bloom is not None
-        meta = {
-            "kind": "svdd" if isinstance(model, SVDDModel) else "svd",
-            "rows": svd.num_rows,
-            "cols": svd.num_cols,
-            "cutoff": svd.cutoff,
-            "num_deltas": num_deltas,
-            "bloom": has_bloom,
-            # Persist the filter's target FPR so open() rebuilds it at
-            # the strictness the model was built with, not a default.
-            "bloom_fpr": model.bloom.false_positive_rate if has_bloom else None,
-            "zero_rows": int(zero_rows.size),
-            "bytes_per_value": bytes_per_value,
-        }
-        (directory / _META_NAME).write_text(json.dumps(meta, indent=2))
-        u_store.close()
+        with staged_directory(directory) as staging:
+            padded_u = svd.u
+            pad_cols = _u_columns(svd.cutoff, bytes_per_value)
+            if pad_cols > svd.cutoff:
+                padded_u = np.zeros((svd.num_rows, pad_cols))
+                padded_u[:, : svd.cutoff] = svd.u
+            MatrixStore.create(
+                staging / _U_NAME,
+                padded_u,
+                page_size=_u_page_size(svd.cutoff, bytes_per_value),
+                dtype=factor_dtype,
+            ).close()
+            np.save(staging / _LAMBDA_NAME, svd.eigenvalues.astype(factor_dtype))
+            np.save(staging / _V_NAME, svd.v.astype(factor_dtype))
+            num_deltas = 0
+            delta_rows: set[int] = set()
+            if deltas is not None and len(deltas) > 0:
+                num_deltas = DeltaFile.write(staging / _DELTAS_NAME, deltas.items())
+                delta_rows = {key // svd.num_cols for key, _d in deltas.items()}
+            # Section 6.2 'practical issue': flag all-zero customers so
+            # their cells are answered without touching the disk at all.
+            # A row is provably all-zero when its U coordinates are zero
+            # and it holds no delta corrections.
+            zero_u = np.flatnonzero(~svd.u.any(axis=1))
+            zero_rows = np.array(
+                sorted(set(zero_u.tolist()) - delta_rows), dtype=np.int64
+            )
+            if zero_rows.size:
+                np.save(staging / _ZERO_ROWS_NAME, zero_rows)
+            has_bloom = isinstance(model, SVDDModel) and model.bloom is not None
+            meta = {
+                "kind": "svdd" if isinstance(model, SVDDModel) else "svd",
+                "rows": svd.num_rows,
+                "cols": svd.num_cols,
+                "cutoff": svd.cutoff,
+                "num_deltas": num_deltas,
+                "bloom": has_bloom,
+                # Persist the filter's target FPR so open() rebuilds it
+                # at the strictness the model was built with, not a
+                # default.
+                "bloom_fpr": model.bloom.false_positive_rate if has_bloom else None,
+                "zero_rows": int(zero_rows.size),
+                "bytes_per_value": bytes_per_value,
+            }
+            (staging / _META_NAME).write_text(json.dumps(meta, indent=2))
+            write_manifest(staging)
         return cls.open(directory)
 
-    @classmethod
-    def open(cls, directory: str | os.PathLike, pool_capacity: int = 64) -> "CompressedMatrix":
-        """Open a previously saved model; V/Lambda/deltas load into memory."""
-        directory = Path(directory)
+    @staticmethod
+    def _load_meta(directory: Path) -> dict:
+        """Parse and structurally validate ``meta.json``.
+
+        Invalid JSON and missing required keys both surface as
+        :class:`FormatError` naming the directory — callers never see a
+        raw ``json.JSONDecodeError`` or ``KeyError``.
+        """
         meta_path = directory / _META_NAME
         if not meta_path.exists():
             raise FormatError(f"{directory}: missing {_META_NAME}")
-        meta = json.loads(meta_path.read_text())
-        u_store = MatrixStore.open(directory / _U_NAME, pool_capacity=pool_capacity)
-        bytes_per_value = int(meta.get("bytes_per_value", 8))
-        # Pinned factors are upcast for computation; precision loss (if
-        # any) happened at save time.
-        eigenvalues = np.load(directory / _LAMBDA_NAME).astype(np.float64)
-        v = np.load(directory / _V_NAME).astype(np.float64)
-        expected_cols = _u_columns(meta["cutoff"], bytes_per_value)
-        if u_store.shape != (meta["rows"], expected_cols):
-            u_store.close()
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise FormatError(
-                f"{directory}: U store shape {u_store.shape} does not match "
-                f"meta ({meta['rows']}, {expected_cols})"
+                f"{directory}: {_META_NAME} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(meta, dict):
+            raise FormatError(
+                f"{directory}: {_META_NAME} must hold a JSON object, "
+                f"got {type(meta).__name__}"
             )
-        zero_rows: frozenset[int] = frozenset()
-        if meta.get("zero_rows"):
-            zero_path = directory / _ZERO_ROWS_NAME
+        missing = [key for key in _REQUIRED_META_KEYS if key not in meta]
+        if missing:
+            raise FormatError(
+                f"{directory}: {_META_NAME} missing required keys {missing}"
+            )
+        return meta
+
+    @staticmethod
+    def _manifest_size_check(
+        directory: Path, files: dict, name: str
+    ) -> None:
+        """Cheap open-time integrity: compare one file's size to the manifest."""
+        expected = files.get(name)
+        path = directory / name
+        if expected is None or not path.exists():
+            return
+        actual = path.stat().st_size
+        if actual != expected.get("bytes"):
+            raise ChecksumError(
+                f"{path}: size {actual} does not match manifest "
+                f"({expected.get('bytes')} bytes) — truncated or torn file"
+            )
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | os.PathLike,
+        pool_capacity: int = 64,
+        on_corrupt: str = "raise",
+    ) -> "CompressedMatrix":
+        """Open a previously saved model; V/Lambda/deltas load into memory.
+
+        When a manifest is present, file sizes are verified cheaply up
+        front (full hashing is ``repro fsck``'s job).  ``meta.json`` is
+        exempt from the size check: it is validated structurally on
+        parse, and hand-editing metadata is a supported escape hatch.
+
+        Args:
+            on_corrupt: ``"raise"`` (default) fails on any validation
+                error; ``"degraded"`` falls back to SVD-only answers —
+                no deltas, no bloom filter, no zero-row fast path —
+                when only the *optional* artifacts (``deltas.bin``,
+                ``zero_rows.npy``, the manifest itself) are damaged.
+                Degraded opens increment the ``store.degraded_opens``
+                registry counter and emit a ``store.degraded_open``
+                structured log event; the factor files are always
+                verified and always fatal when corrupt.
+        """
+        if on_corrupt not in ("raise", "degraded"):
+            raise ConfigurationError(
+                f"on_corrupt must be 'raise' or 'degraded', got {on_corrupt!r}"
+            )
+        directory = Path(directory)
+        meta = cls._load_meta(directory)
+        degraded_reasons: list[str] = []
+        try:
+            manifest = load_manifest(directory)
+        except FormatError as exc:
+            if on_corrupt == "raise":
+                raise
+            manifest = None
+            degraded_reasons.append(str(exc))
+        manifest_files = manifest["files"] if manifest is not None else {}
+        for name in _CRITICAL_FILES:
+            if name in manifest_files and not (directory / name).exists():
+                raise FormatError(f"{directory}: missing {name}")
+            cls._manifest_size_check(directory, manifest_files, name)
+
+        u_store = MatrixStore.open(directory / _U_NAME, pool_capacity=pool_capacity)
+        try:
+            bytes_per_value = int(meta.get("bytes_per_value", 8))
+            # Pinned factors are upcast for computation; precision loss
+            # (if any) happened at save time.
+            try:
+                eigenvalues = np.load(directory / _LAMBDA_NAME).astype(np.float64)
+                v = np.load(directory / _V_NAME).astype(np.float64)
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise FormatError(
+                    f"{directory}: failed to load factor files: {exc}"
+                ) from exc
+            expected_cols = _u_columns(meta["cutoff"], bytes_per_value)
+            if u_store.shape != (meta["rows"], expected_cols):
+                raise FormatError(
+                    f"{directory}: U store shape {u_store.shape} does not match "
+                    f"meta ({meta['rows']}, {expected_cols})"
+                )
+            zero_rows = cls._load_zero_rows(
+                directory, meta, manifest_files, on_corrupt, degraded_reasons
+            )
+            deltas, bloom = cls._load_deltas(
+                directory, meta, manifest_files, on_corrupt, degraded_reasons
+            )
+        except ReproError:
+            u_store.close()
+            raise
+        except Exception as exc:
+            u_store.close()
+            raise FormatError(f"{directory}: failed to load model: {exc}") from exc
+        store = cls(u_store, eigenvalues, v, deltas, bloom, directory, zero_rows)
+        store._bytes_per_value = bytes_per_value
+        if degraded_reasons:
+            store._degraded_reasons = tuple(degraded_reasons)
+            _obs.counter("store.degraded_opens").inc()
+            log_event(
+                "store.degraded_open",
+                level="warning",
+                directory=str(directory),
+                reasons=degraded_reasons,
+            )
+        return store
+
+    @classmethod
+    def _load_zero_rows(
+        cls,
+        directory: Path,
+        meta: dict,
+        manifest_files: dict,
+        on_corrupt: str,
+        degraded_reasons: list[str],
+    ) -> frozenset[int]:
+        """Load the zero-row flags, degrading to the empty set if asked.
+
+        Dropping the flags is answer-preserving: a flagged row's U
+        coordinates are all zero on disk, so reconstructing it the slow
+        way still yields 0.0 — only the no-disk-access fast path is
+        lost.
+        """
+        if not meta.get("zero_rows"):
+            return frozenset()
+        zero_path = directory / _ZERO_ROWS_NAME
+        try:
+            cls._manifest_size_check(directory, manifest_files, _ZERO_ROWS_NAME)
             if not zero_path.exists():
-                u_store.close()
                 raise FormatError(f"{directory}: missing {_ZERO_ROWS_NAME}")
-            zero_rows = frozenset(np.load(zero_path).tolist())
-        deltas = None
-        bloom = None
+            try:
+                loaded = np.load(zero_path)
+            except Exception as exc:
+                raise FormatError(
+                    f"{directory}: failed to load {_ZERO_ROWS_NAME}: {exc}"
+                ) from exc
+            rows = frozenset(int(row) for row in loaded.tolist())
+            if rows and (min(rows) < 0 or max(rows) >= int(meta["rows"])):
+                raise FormatError(
+                    f"{directory}: {_ZERO_ROWS_NAME} flags rows outside "
+                    f"[0, {meta['rows']})"
+                )
+            return rows
+        except (FormatError, ChecksumError) as exc:
+            if on_corrupt == "raise":
+                raise
+            degraded_reasons.append(str(exc))
+            return frozenset()
+
+    @classmethod
+    def _load_deltas(
+        cls,
+        directory: Path,
+        meta: dict,
+        manifest_files: dict,
+        on_corrupt: str,
+        degraded_reasons: list[str],
+    ) -> tuple[DeltaIndex | None, BloomFilter | None]:
+        """Load the outlier table, degrading to SVD-only if asked."""
+        if meta["num_deltas"] <= 0:
+            return None, None
         delta_path = directory / _DELTAS_NAME
-        if meta["num_deltas"] > 0:
+        try:
+            cls._manifest_size_check(directory, manifest_files, _DELTAS_NAME)
             if not delta_path.exists():
-                u_store.close()
                 raise FormatError(f"{directory}: missing {_DELTAS_NAME}")
-            keys, values = DeltaFile.read_arrays(delta_path)
+            keys, values = DeltaFile.read_arrays(
+                delta_path, num_cells=int(meta["rows"]) * int(meta["cols"])
+            )
             deltas = DeltaIndex(keys, values, meta["cols"])
+            bloom = None
             if meta.get("bloom"):
                 # Directories written before the FPR was persisted fall
                 # back to the historical default.
                 fpr = float(meta.get("bloom_fpr") or _BLOOM_FPR_DEFAULT)
                 bloom = BloomFilter(max(1, len(deltas)), fpr)
                 bloom.update(int(key) for key in keys)
-        store = cls(u_store, eigenvalues, v, deltas, bloom, directory, zero_rows)
-        store._bytes_per_value = bytes_per_value
-        return store
+            return deltas, bloom
+        except (FormatError, ChecksumError) as exc:
+            if on_corrupt == "raise":
+                raise
+            degraded_reasons.append(str(exc))
+            return None, None
 
     def close(self) -> None:
         """Release the U store's file handle."""
@@ -270,10 +469,28 @@ class CompressedMatrix:
     #: On-disk precision of the factor matrices ('b' in the accounting).
     _bytes_per_value: int = 8
 
+    #: Validation failures absorbed by ``open(on_corrupt="degraded")``.
+    _degraded_reasons: tuple[str, ...] = ()
+
     @property
     def bytes_per_value(self) -> int:
         """Per-number storage cost of the factor matrices."""
         return self._bytes_per_value
+
+    @property
+    def degraded(self) -> bool:
+        """True when this store opened without its optional artifacts.
+
+        A degraded store answers every query from the SVD factors alone
+        (no delta corrections, no bloom filter, no zero-row fast path)
+        — approximate but never silently wrong about what it is.
+        """
+        return bool(self._degraded_reasons)
+
+    @property
+    def degraded_reasons(self) -> tuple[str, ...]:
+        """The validation failures a degraded open absorbed."""
+        return self._degraded_reasons
 
     def space_bytes(self) -> int:
         """Logical model size per the paper's accounting."""

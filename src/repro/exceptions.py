@@ -42,6 +42,10 @@ class ChecksumError(StorageError):
     """A page or file failed checksum validation when read back."""
 
 
+class RetryExhaustedError(StorageError):
+    """A transient I/O error persisted past the bounded retry budget."""
+
+
 class FormatError(StorageError):
     """A file on disk did not match the expected binary format."""
 

@@ -15,11 +15,29 @@ package provides a small storage engine:
   streamed row iteration (a 'pass') and random row access through the
   buffer pool;
 - :class:`DeltaFile` — the serialized form of the SVDD outlier table.
+
+Durability and fault tolerance live beside the data path:
+
+- :mod:`repro.storage.atomic` — fsync'd temp-file and staging-directory
+  protocols every persistent artifact is written through;
+- :mod:`repro.storage.integrity` — the per-file SHA-256 manifest saved
+  with each model and verified by ``open()`` (sizes) and ``repro fsck``
+  (full hashes);
+- :mod:`repro.storage.faults` — scripted I/O fault injection for the
+  chaos suite (off by default, one ``None`` check per physical I/O).
 """
 
+from repro.storage.atomic import atomic_write_bytes, staged_directory
 from repro.storage.buffer_pool import BufferPool, PoolStats
 from repro.storage.csv_io import matrix_store_from_csv, matrix_store_to_csv
 from repro.storage.delta_file import DeltaFile
+from repro.storage.faults import FaultPlan
+from repro.storage.integrity import (
+    IntegrityReport,
+    load_manifest,
+    verify_manifest,
+    write_manifest,
+)
 from repro.storage.matrix_store import MatrixStore
 from repro.storage.pager import FilePager, IOStats, PAGE_SIZE_DEFAULT
 
@@ -27,10 +45,17 @@ __all__ = [
     "BufferPool",
     "matrix_store_from_csv",
     "matrix_store_to_csv",
+    "atomic_write_bytes",
+    "staged_directory",
     "DeltaFile",
+    "FaultPlan",
     "FilePager",
+    "IntegrityReport",
     "IOStats",
+    "load_manifest",
     "MatrixStore",
     "PAGE_SIZE_DEFAULT",
     "PoolStats",
+    "verify_manifest",
+    "write_manifest",
 ]

@@ -20,6 +20,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.exceptions import ChecksumError, FormatError
+from repro.storage.atomic import atomic_write_bytes
 from repro.structures.hashtable import OpenAddressingTable
 
 _MAGIC = b"RPRDLT01"
@@ -37,28 +38,50 @@ class DeltaFile:
 
         Records are written sorted by key so files are canonical: two
         models with the same outlier set produce byte-identical files.
+        The file lands atomically (temp sibling + fsync + rename), so a
+        crash mid-write never leaves a torn delta table.
         """
         records = sorted(deltas)
         body = b"".join(struct.pack(_RECORD_FMT, key, delta) for key, delta in records)
         crc = zlib.crc32(body) & 0xFFFFFFFF
         header = struct.pack(_HEADER_FMT, _MAGIC, len(records), crc)
-        with open(path, "wb") as fh:
-            fh.write(header)
-            fh.write(body)
+        atomic_write_bytes(path, header + body)
         return len(records)
 
     @staticmethod
-    def read_arrays(path: str | os.PathLike) -> tuple[np.ndarray, np.ndarray]:
+    def read_arrays(
+        path: str | os.PathLike, num_cells: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Load a delta file as ``(keys, deltas)`` NumPy arrays.
 
         One ``frombuffer`` over the validated record body — no
         per-record Python.  Keys come back sorted (the canonical file
         order), which is exactly the form
         :class:`~repro.core.delta_index.DeltaIndex` wants.
+
+        Args:
+            num_cells: when given (``rows * cols`` of the owning
+                matrix), every key must fall in ``[0, num_cells)`` and
+                the key sequence must be strictly increasing — a record
+                that slipped past the CRC (or a buggy writer) is
+                rejected here instead of corrupting later lookups.
         """
         body = DeltaFile._validated_body(path)
         records = np.frombuffer(body, dtype=np.dtype([("k", "<i8"), ("d", "<f8")]))
-        return records["k"].astype(np.int64), records["d"].astype(np.float64)
+        keys = records["k"].astype(np.int64)
+        deltas = records["d"].astype(np.float64)
+        if num_cells is not None and keys.size:
+            if keys.min() < 0 or keys.max() >= num_cells:
+                raise FormatError(
+                    f"{path}: delta key range [{keys.min()}, {keys.max()}] "
+                    f"outside the matrix's cells [0, {num_cells})"
+                )
+            if keys.size > 1 and not (np.diff(keys) > 0).all():
+                raise FormatError(
+                    f"{path}: delta keys are not strictly increasing "
+                    "(canonical files are sorted and duplicate-free)"
+                )
+        return keys, deltas
 
     @staticmethod
     def read(path: str | os.PathLike) -> OpenAddressingTable:

@@ -1,0 +1,135 @@
+"""Deterministic I/O fault injection for the storage stack.
+
+Disk failures are rare enough that untested recovery code is broken
+recovery code.  This module lets the chaos suite script the failures:
+a :class:`FaultPlan` installed with :func:`inject` makes
+:class:`~repro.storage.pager.FilePager` raise ``EIO`` on the Nth
+physical read, deliver a short read, or tear the Nth write mid-page —
+against the real file, through the real call stack.
+
+Injection is **off by default** and costs one module-global ``None``
+check per physical I/O when off.  Plans match files by path substring,
+so a test can corrupt ``u.mat`` reads while ``meta.json`` stays
+healthy.  Read indices are 1-based and count physical read *attempts*
+(a retried read is a new attempt), which is exactly what bounded-retry
+tests need: ``fail_reads=2`` with three retries means the third attempt
+succeeds.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["FaultPlan", "inject", "install", "clear", "plan_for"]
+
+
+@dataclass
+class FaultPlan:
+    """A scripted sequence of I/O failures.
+
+    Args:
+        path_substring: only files whose path contains this string are
+            affected (``None`` affects every pager).
+        fail_read_at: 1-based physical read attempt that starts failing
+            with ``OSError(read_errno)``.
+        fail_reads: how many consecutive read attempts fail from
+            ``fail_read_at`` on (1 simulates a transient blip the retry
+            loop absorbs; a large value simulates a dead disk).
+        read_errno: errno of injected read failures (default ``EIO``).
+        short_read_at: 1-based read attempt whose first ``read()`` call
+            returns only half the requested bytes (the pager must
+            resume the tail instead of zero-padding garbage).
+        fail_write_at: 1-based write attempt that tears: only
+            ``torn_bytes`` bytes reach the file before ``OSError``.
+        torn_bytes: bytes actually written by a torn write.
+    """
+
+    path_substring: str | None = None
+    fail_read_at: int | None = None
+    fail_reads: int = 1
+    read_errno: int = errno.EIO
+    short_read_at: int | None = None
+    fail_write_at: int | None = None
+    torn_bytes: int = 16
+    #: Physical read attempts observed on matching files.
+    reads_seen: int = field(default=0, init=False)
+    #: Physical write attempts observed on matching files.
+    writes_seen: int = field(default=0, init=False)
+    #: Faults actually injected (reads + writes).
+    injected: int = field(default=0, init=False)
+
+    def matches(self, path: os.PathLike | str) -> bool:
+        """Whether this plan applies to ``path``."""
+        return self.path_substring is None or self.path_substring in str(path)
+
+    # -- hooks called by the pager --------------------------------------
+
+    def begin_read(self) -> None:
+        """Account one read attempt; raise if it is scripted to fail."""
+        self.reads_seen += 1
+        if (
+            self.fail_read_at is not None
+            and self.fail_read_at
+            <= self.reads_seen
+            < self.fail_read_at + self.fail_reads
+        ):
+            self.injected += 1
+            raise OSError(self.read_errno, os.strerror(self.read_errno))
+
+    def truncate_read(self, data: bytes) -> bytes:
+        """Shorten this attempt's first chunk when a short read is due."""
+        if self.short_read_at == self.reads_seen and len(data) > 1:
+            self.injected += 1
+            return data[: len(data) // 2]
+        return data
+
+    def begin_write(self, data: bytes) -> bytes | None:
+        """Account one write attempt; return a torn prefix when due.
+
+        Returns ``None`` for a healthy write, or the prefix the caller
+        must write before raising ``OSError`` (simulating a crash after
+        a partial write reached the platter).
+        """
+        self.writes_seen += 1
+        if self.fail_write_at == self.writes_seen:
+            self.injected += 1
+            return data[: self.torn_bytes]
+        return None
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Activate ``plan`` process-wide (tests only)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    """Deactivate fault injection."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def plan_for(path: Path) -> FaultPlan | None:
+    """The active plan if it applies to ``path`` (hot-path guard)."""
+    plan = _ACTIVE
+    if plan is not None and plan.matches(path):
+        return plan
+    return None
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope a fault plan to a ``with`` block, always clearing it."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()

@@ -39,6 +39,7 @@ from repro.exceptions import (
 )
 from repro.obs.registry import registry as _obs
 from repro.obs.tracing import span as _span
+from repro.storage.atomic import fsync_dir
 from repro.storage.buffer_pool import BufferPool, read_span
 from repro.storage.pager import PAGE_SIZE_DEFAULT, FilePager
 
@@ -137,41 +138,51 @@ class MatrixStore:
             raise ConfigurationError(
                 f"unsupported dtype {store_dtype}; use float64 or float32"
             )
-        pager = FilePager(path, page_size=page_size, create=True)
-        # Reserve the header page; the true header is rewritten at the end
-        # once the row count is known.
-        pager.write_page(0, b"\x00" * page_size)
-        count = 0
-        buffer: list[bytes] = []
-        buffered_rows = 0
-        for row in rows:
-            arr = np.ascontiguousarray(np.asarray(row, dtype=store_dtype))
-            if arr.shape != (num_cols,):
-                pager.close()
-                Path(path).unlink(missing_ok=True)
-                raise ShapeError(
-                    f"row {count} has shape {arr.shape}, expected ({num_cols},)"
-                )
-            buffer.append(arr.tobytes())
-            buffered_rows += 1
-            count += 1
-            if buffered_rows >= _STREAM_CHUNK_ROWS:
+        # Crash-safe create: build the file as a temporary sibling, make
+        # it durable, then rename into place.  A crash mid-write leaves
+        # either the previous file or no file — never a torn store.
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        pager = FilePager(tmp, page_size=page_size, create=True)
+        try:
+            # Reserve the header page; the true header is rewritten at
+            # the end once the row count is known.
+            pager.write_page(0, b"\x00" * page_size)
+            count = 0
+            buffer: list[bytes] = []
+            buffered_rows = 0
+            for row in rows:
+                arr = np.ascontiguousarray(np.asarray(row, dtype=store_dtype))
+                if arr.shape != (num_cols,):
+                    raise ShapeError(
+                        f"row {count} has shape {arr.shape}, expected ({num_cols},)"
+                    )
+                buffer.append(arr.tobytes())
+                buffered_rows += 1
+                count += 1
+                if buffered_rows >= _STREAM_CHUNK_ROWS:
+                    pager.append_raw(b"".join(buffer))
+                    buffer.clear()
+                    buffered_rows = 0
+            if buffer:
                 pager.append_raw(b"".join(buffer))
-                buffer.clear()
-                buffered_rows = 0
-        if buffer:
-            pager.append_raw(b"".join(buffer))
-        if count == 0:
+            if count == 0:
+                raise ShapeError("cannot create a store with zero rows")
+            pager.write_page(
+                0,
+                cls._pack_header(
+                    count, num_cols, page_size, _CODES_BY_DTYPE[store_dtype]
+                ),
+            )
+            pager.sync()
             pager.close()
-            Path(path).unlink(missing_ok=True)
-            raise ShapeError("cannot create a store with zero rows")
-        pager.write_page(
-            0,
-            cls._pack_header(
-                count, num_cols, page_size, _CODES_BY_DTYPE[store_dtype]
-            ),
-        )
-        pager.flush()
+        except BaseException:
+            pager.close()
+            tmp.unlink(missing_ok=True)
+            raise
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+        pager = FilePager(path, page_size=page_size, create=False)
         return cls(pager, count, num_cols, pool_capacity, dtype=store_dtype)
 
     @classmethod

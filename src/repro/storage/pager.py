@@ -5,18 +5,43 @@ counts every physical read and write.  All higher layers (buffer pool,
 matrix store, compressed model store) go through a pager, so the number
 of 'disk accesses' the paper reasons about is an observable quantity in
 this reproduction.
+
+Physical reads go through one funnel (:meth:`FilePager._pread`) that
+
+- resumes short reads instead of zero-padding mid-file gaps (padding is
+  correct only at EOF),
+- retries transient ``OSError`` (``EIO``/``EAGAIN``/``EINTR``/
+  ``ETIMEDOUT``) with bounded exponential backoff, counting each retry
+  in :attr:`IOStats.retries` and the ``pager.retries`` registry
+  counter, and raising :class:`RetryExhaustedError` once the budget is
+  spent,
+- consults :mod:`repro.storage.faults` so the chaos suite can script
+  failures against the real call stack (one ``None`` check when off).
 """
 
 from __future__ import annotations
 
+import errno
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import ConfigurationError, PageError, StoreClosedError
+from repro.exceptions import (
+    ConfigurationError,
+    PageError,
+    RetryExhaustedError,
+    StoreClosedError,
+)
 from repro.obs.registry import registry as _obs
+from repro.storage import faults as _faults
 
 PAGE_SIZE_DEFAULT = 8192
+
+#: ``errno`` values treated as transient and worth retrying on read.
+TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EINTR, errno.ETIMEDOUT}
+)
 
 
 @dataclass
@@ -27,7 +52,9 @@ class IOStats:
     requested pages into one sequential I/O; ``gap_pages`` counts the
     unrequested pages fetched (and discarded) inside those merged runs
     — together they quantify how much the span-coalescing optimization
-    actually fires on a workload.
+    actually fires on a workload.  ``retries`` counts transient read
+    errors absorbed by the bounded-backoff retry loop; a non-zero value
+    on a healthy run means the disk is flaking, not the store.
     """
 
     reads: int = 0
@@ -36,6 +63,7 @@ class IOStats:
     bytes_written: int = 0
     coalesced_reads: int = 0
     gap_pages: int = 0
+    retries: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -45,6 +73,7 @@ class IOStats:
         self.bytes_written = 0
         self.coalesced_reads = 0
         self.gap_pages = 0
+        self.retries = 0
 
     def snapshot(self) -> "IOStats":
         """A copy of the current counters."""
@@ -55,6 +84,7 @@ class IOStats:
             self.bytes_written,
             self.coalesced_reads,
             self.gap_pages,
+            self.retries,
         )
 
     def to_dict(self) -> dict:
@@ -66,6 +96,7 @@ class IOStats:
             "bytes_written": self.bytes_written,
             "coalesced_reads": self.coalesced_reads,
             "gap_pages": self.gap_pages,
+            "retries": self.retries,
         }
 
 
@@ -103,6 +134,11 @@ class FilePager:
         # weak registration dies with the pager.
         _obs.register_source("pagers", self.path.name, self.stats)
 
+    #: Maximum retry attempts for a transient read error.
+    _RETRY_ATTEMPTS = 3
+    #: Backoff before retry ``n`` is ``_RETRY_BASE_DELAY * 2**n`` seconds.
+    _RETRY_BASE_DELAY = 0.002
+
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
@@ -132,6 +168,77 @@ class FilePager:
         size = os.fstat(self._file.fileno()).st_size
         return (size + self.page_size - 1) // self.page_size
 
+    # -- physical I/O funnels ---------------------------------------------
+
+    def _pread(self, offset: int, length: int) -> bytes:
+        """Read up to ``length`` bytes at ``offset``, surviving faults.
+
+        Short reads are resumed until ``length`` bytes arrive or EOF is
+        reached (only EOF may return fewer bytes, so callers'
+        zero-padding is always padding real end-of-file, never a gap a
+        flaky ``read(2)`` left mid-file).  Transient ``OSError`` is
+        retried with exponential backoff; persistent failure raises
+        :class:`RetryExhaustedError`.
+        """
+        plan = _faults.plan_for(self.path)
+        attempt = 0
+        while True:
+            try:
+                if plan is not None:
+                    plan.begin_read()
+                chunks: list[bytes] = []
+                got = 0
+                first = True
+                while got < length:
+                    # Re-seek every iteration: a truncated chunk must
+                    # resume at offset+got, not wherever read(2) left
+                    # the cursor.
+                    self._file.seek(offset + got)
+                    data = self._file.read(length - got)
+                    if first and plan is not None and data:
+                        data = plan.truncate_read(data)
+                    first = False
+                    if not data:
+                        break
+                    chunks.append(data)
+                    got += len(data)
+                return b"".join(chunks)
+            except OSError as exc:
+                if exc.errno not in TRANSIENT_ERRNOS:
+                    raise
+                attempt += 1
+                if attempt > self._RETRY_ATTEMPTS:
+                    raise RetryExhaustedError(
+                        f"{self.path}: read at offset {offset} still failing "
+                        f"after {self._RETRY_ATTEMPTS} retries: {exc}"
+                    ) from exc
+                self.stats.retries += 1
+                _obs.counter("pager.retries").inc()
+                time.sleep(self._RETRY_BASE_DELAY * 2 ** (attempt - 1))
+
+    def _pwrite(self, offset: int | None, data: bytes) -> None:
+        """Write ``data`` at ``offset`` (or append when ``None``).
+
+        Write errors are *not* retried: the durable-save protocols
+        (temp file + rename, staging directory + swap) already
+        guarantee a failed write never corrupts the committed artifact,
+        so masking a sick disk here would only delay the diagnosis.
+        """
+        if offset is None:
+            self._file.seek(0, os.SEEK_END)
+        else:
+            self._file.seek(offset)
+        plan = _faults.plan_for(self.path)
+        if plan is not None:
+            torn = plan.begin_write(data)
+            if torn is not None:
+                self._file.write(torn)
+                self._file.flush()
+                raise OSError(errno.EIO, "injected torn write")
+        self._file.write(data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+
     # -- page I/O -----------------------------------------------------------
 
     def read_page(self, page_id: int) -> bytes:
@@ -141,8 +248,7 @@ class FilePager:
             raise PageError(
                 f"page {page_id} out of range [0, {self.num_pages()}) in {self.path}"
             )
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
+        data = self._pread(page_id * self.page_size, self.page_size)
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
         if len(data) < self.page_size:
@@ -184,8 +290,7 @@ class FilePager:
                 end += 1
             first = ids[position]
             span = ids[end] - first + 1
-            self._file.seek(first * self.page_size)
-            blob = self._file.read(span * self.page_size)
+            blob = self._pread(first * self.page_size, span * self.page_size)
             self.stats.reads += 1
             self.stats.bytes_read += len(blob)
             requested = end - position + 1
@@ -214,8 +319,7 @@ class FilePager:
                 f"in {self.path}"
             )
         length = (last - first + 1) * self.page_size
-        self._file.seek(first * self.page_size)
-        blob = self._file.read(length)
+        blob = self._pread(first * self.page_size, length)
         self.stats.reads += 1
         self.stats.bytes_read += len(blob)
         if last > first:
@@ -239,20 +343,20 @@ class FilePager:
             )
         if len(data) < self.page_size:
             data = data + b"\x00" * (self.page_size - len(data))
-        self._file.seek(page_id * self.page_size)
-        self._file.write(data)
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
+        self._pwrite(page_id * self.page_size, data)
 
     def append_raw(self, data: bytes) -> None:
         """Append raw bytes (used by bulk writers building the data region)."""
         self._require_open()
-        self._file.seek(0, os.SEEK_END)
-        self._file.write(data)
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
+        self._pwrite(None, data)
 
     def flush(self) -> None:
         """Flush buffered writes to the OS."""
         self._require_open()
         self._file.flush()
+
+    def sync(self) -> None:
+        """Flush and ``fsync`` — the data is on stable storage on return."""
+        self._require_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())

@@ -164,10 +164,26 @@ class Warehouse:
         self._save_catalog()
         return entry
 
-    def open(self, name: str, pool_capacity: int = 64) -> CompressedMatrix:
-        """Open a catalogued model for querying (caller closes it)."""
+    def open(
+        self, name: str, pool_capacity: int = 64, on_corrupt: str = "raise"
+    ) -> CompressedMatrix:
+        """Open a catalogued model for querying (caller closes it).
+
+        ``on_corrupt="degraded"`` keeps a dataset queryable with
+        SVD-only answers when its optional artifacts are damaged (see
+        :meth:`CompressedMatrix.open`).
+        """
         self.entry(name)
-        return CompressedMatrix.open(self.root / name / "model", pool_capacity)
+        return CompressedMatrix.open(
+            self.root / name / "model", pool_capacity, on_corrupt=on_corrupt
+        )
+
+    def fsck(self, name: str, deep: bool = True):
+        """Integrity-check one dataset's model directory."""
+        from repro.storage.integrity import verify_manifest
+
+        self.entry(name)
+        return verify_manifest(self.root / name / "model", deep=deep)
 
     def open_raw(self, name: str) -> MatrixStore:
         """Open the retained raw store (caller closes it)."""

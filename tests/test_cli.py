@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -287,3 +289,51 @@ class TestWarehouseCommands:
         main(["wh-ingest", "--root", root, "--name", "a", "--dataset", "phone40"])
         capsys.readouterr()
         assert main(["wh-verify", "--root", root, "nope"]) == 1
+
+
+class TestFsck:
+    @pytest.fixture()
+    def fsck_model(self, tmp_path):
+        out = tmp_path / "model"
+        assert main(
+            ["build", "--dataset", "phone80", "--budget", "0.15", "--out", str(out)]
+        ) == 0
+        return out
+
+    def test_clean_model_passes(self, fsck_model, capsys):
+        assert main(["fsck", str(fsck_model)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["mode"] == "deep"
+        assert report["opens"] == "ok"
+        assert report["files"]["u.mat"]["status"] == "ok"
+
+    def test_bit_rot_caught_deep_but_not_quick(self, fsck_model, capsys):
+        path = fsck_model / "u.mat"
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0x20
+        path.write_bytes(bytes(raw))
+
+        assert main(["fsck", str(fsck_model), "--quick"]) == 0
+        assert json.loads(capsys.readouterr().out)["mode"] == "quick"
+
+        assert main(["fsck", str(fsck_model)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["files"]["u.mat"]["status"] == "hash-mismatch"
+
+    def test_truncation_fails_even_quick(self, fsck_model, capsys):
+        path = fsck_model / "v.npy"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert main(["fsck", str(fsck_model), "--quick"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["files"]["v.npy"]["status"] == "size-mismatch"
+        assert report["opens"].startswith("error:")
+
+    def test_structural_damage_caught_without_manifest(self, fsck_model, capsys):
+        (fsck_model / "manifest.json").unlink()
+        (fsck_model / "meta.json").write_text("{broken")
+        assert main(["fsck", str(fsck_model)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["has_manifest"] is False
+        assert report["opens"].startswith("error:")
