@@ -1,0 +1,161 @@
+"""Concurrent serving: aggregate throughput vs worker count.
+
+The tentpole claim of the concurrency work: N threads sharing one
+``CompressedMatrix`` scale aggregate throughput, because the pager
+reads with positionless ``pread`` (no shared offset, no lock), the
+buffer pool is lock-striped, and the factor-space GEMMs release the
+GIL.  This bench measures:
+
+- batch throughput at 1/2/4/8 executor workers over one shared model;
+- the single-worker regression guard: the executor at one worker must
+  stay close to a plain sequential :class:`QueryEngine` loop (the
+  thread pool must not tax the single-client case);
+- the parallel build: ``build_compressed(jobs=4)`` vs ``jobs=1`` on a
+  disk-resident source (banded pass-1 Gram + overlapped pass-3 write).
+
+Scaling assertions are gated on the machine actually having cores: on
+a single-CPU container the numbers are still recorded, but a >=2.5x
+speedup at 4 workers is only asserted when ``os.cpu_count() >= 4``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit, emit_json, format_table
+from repro.core import CompressedMatrix, SVDDCompressor, build_compressed
+from repro.query import AggregateQuery, QueryEngine, QueryExecutor, Selection
+from repro.storage import MatrixStore
+
+WORKER_SWEEP = (1, 2, 4, 8)
+QUERIES = 240
+#: Minimum speedup at 4 workers, asserted only on >=4-core machines.
+SCALING_FLOOR = 2.5
+#: The executor at one worker may cost at most this slowdown factor
+#: over a plain sequential engine loop (asserted loosely: wall-clock
+#: on shared CI runners is noisy).
+SINGLE_WORKER_OVERHEAD_FLOOR = 0.60
+
+
+def _aggregate_workload(shape: tuple[int, int], count: int) -> list[AggregateQuery]:
+    """Factor-path aggregates over random rectangles (the GEMM-heavy
+    shape that actually exercises parallel scaling)."""
+    rng = np.random.default_rng(17)
+    rows, cols = shape
+    queries = []
+    for index in range(count):
+        r0 = int(rng.integers(0, rows - 64))
+        c0 = int(rng.integers(0, cols - 32))
+        height = int(rng.integers(32, 64))
+        width = int(rng.integers(16, 32))
+        function = ("sum", "avg", "stddev")[index % 3]
+        queries.append(
+            AggregateQuery(
+                function,
+                Selection(rows=range(r0, r0 + height), cols=range(c0, c0 + width)),
+            )
+        )
+    return queries
+
+
+def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
+    root = tmp_path_factory.mktemp("concurrency")
+    model = SVDDCompressor(budget_fraction=0.10).fit(phone2000)
+    CompressedMatrix.save(model, root / "model").close()
+    queries = _aggregate_workload(phone2000.shape, QUERIES)
+
+    store = CompressedMatrix.open(root / "model", pool_capacity=256)
+
+    # Sequential baseline: one engine, one thread, no pool machinery.
+    engine = QueryEngine(store)
+    start = time.perf_counter()
+    expected = [engine.aggregate(query).value for query in queries]
+    sequential_qps = QUERIES / (time.perf_counter() - start)
+
+    rows = []
+    qps_by_workers = {}
+    for workers in WORKER_SWEEP:
+        with QueryExecutor(store, max_workers=workers) as pool:
+            pool.run_batch(queries[:16])  # warm the U pool and the threads
+            report = pool.run_batch(queries)
+        assert [r.value for r in report.results] == expected
+        qps_by_workers[workers] = report.throughput_qps
+        rows.append(
+            [
+                str(workers),
+                f"{report.throughput_qps:,.0f}",
+                f"{report.throughput_qps / qps_by_workers[1]:.2f}x",
+            ]
+        )
+    store.close()
+
+    speedup_4 = qps_by_workers[4] / qps_by_workers[1]
+    single_worker_ratio = qps_by_workers[1] / sequential_qps
+
+    # Parallel build on a disk-resident source.
+    source = MatrixStore.create(root / "raw.mat", phone2000)
+    start = time.perf_counter()
+    build_compressed(source, root / "build1", 0.10, jobs=1).close()
+    build_s_jobs1 = time.perf_counter() - start
+    start = time.perf_counter()
+    build_compressed(source, root / "build4", 0.10, jobs=4).close()
+    build_s_jobs4 = time.perf_counter() - start
+    source.close()
+    build_speedup = build_s_jobs1 / build_s_jobs4 if build_s_jobs4 > 0 else 0.0
+
+    cpu_count = os.cpu_count() or 1
+    lines = format_table(
+        f"Aggregate throughput vs executor workers "
+        f"({QUERIES} queries, phone2000, {cpu_count} cpus)",
+        ["workers", "queries/s", "speedup"],
+        rows,
+    )
+    lines.append("")
+    lines.append(f"sequential engine baseline: {sequential_qps:,.0f} q/s")
+    lines.append(f"1-worker executor / sequential: {single_worker_ratio:.2f}x")
+    lines.append(
+        f"build jobs=1: {build_s_jobs1:.2f}s, jobs=4: {build_s_jobs4:.2f}s "
+        f"({build_speedup:.2f}x)"
+    )
+    emit("concurrency", lines)
+    emit_json(
+        "concurrency",
+        params={
+            "dataset": "phone2000",
+            "queries": QUERIES,
+            "workers": list(WORKER_SWEEP),
+            "budget_fraction": 0.10,
+            "pool_capacity": 256,
+            "cpu_count": cpu_count,
+        },
+        metrics={
+            **{
+                f"qps_{workers}w": round(qps, 1)
+                for workers, qps in qps_by_workers.items()
+            },
+            "sequential_qps": round(sequential_qps, 1),
+            "single_worker_ratio": round(single_worker_ratio, 4),
+            "speedup_4w": round(speedup_4, 4),
+            "build_s_jobs1": round(build_s_jobs1, 4),
+            "build_s_jobs4": round(build_s_jobs4, 4),
+            "build_speedup": round(build_speedup, 4),
+        },
+    )
+
+    # The executor must not tax the single-client case.  (Loose bound:
+    # shared runners are noisy; the structural single-thread guard is
+    # the storage suite's exact-semantics tests.)
+    assert single_worker_ratio >= SINGLE_WORKER_OVERHEAD_FLOOR
+    # Scaling claim, only meaningful with real cores under the threads.
+    if cpu_count >= 4:
+        assert speedup_4 >= SCALING_FLOOR
+    # More workers must never corrupt results or collapse throughput.
+    assert qps_by_workers[8] >= qps_by_workers[1] * 0.5
+
+    store = CompressedMatrix.open(root / "model", pool_capacity=256)
+    with QueryExecutor(store, max_workers=4) as pool:
+        benchmark(lambda: pool.run_batch(queries[:32]))
+    store.close()

@@ -83,7 +83,9 @@ def cmd_build(args) -> int:
     from repro.core import build_compressed
 
     source = _load_matrix(args)
-    store = build_compressed(source, args.out, budget_fraction=args.budget)
+    store = build_compressed(
+        source, args.out, budget_fraction=args.budget, jobs=args.jobs
+    )
     rows, cols = store.shape
     fraction = store.space_bytes() / (rows * cols * 8)
     print(
@@ -344,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--input", help="path to a MatrixStore file")
     build.add_argument("--budget", type=float, default=0.10, help="space fraction")
     build.add_argument("--out", required=True, help="output model directory")
+    build.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the parallel build passes (default 1)",
+    )
     build.set_defaults(func=cmd_build)
 
     info = sub.add_parser("info", help="inspect a compressed model")

@@ -46,6 +46,7 @@ def build_compressed(
     budget_fraction: float = 0.10,
     bytes_per_value: int = 8,
     compressor: SVDDCompressor | None = None,
+    jobs: int = 1,
 ) -> CompressedMatrix:
     """Compress ``source`` straight into a model directory.
 
@@ -59,9 +60,15 @@ def build_compressed(
         budget_fraction: SVDD budget (ignored when ``compressor`` given).
         bytes_per_value: factor precision on disk (8 or 4).
         compressor: optional pre-configured :class:`SVDDCompressor`.
+        jobs: worker threads for the parallel passes.  ``> 1``
+            parallelizes pass 1 (banded Gram accumulation) and overlaps
+            pass 3's projection with its page writes; pass 2 and the
+            output files are identical either way.
     """
     if bytes_per_value not in (4, 8):
         raise FormatError(f"bytes_per_value must be 4 or 8, got {bytes_per_value}")
+    if jobs < 1:
+        raise FormatError(f"jobs must be >= 1, got {jobs}")
     factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
     directory = Path(directory)
     fitter = compressor or SVDDCompressor(budget_fraction=budget_fraction)
@@ -73,7 +80,7 @@ def build_compressed(
     k_max = fitter._candidate_cutoffs(num_rows, num_cols)
     pass1_start = time.perf_counter()
     with _span("build.pass1", rows=num_rows, cols=num_cols):
-        gram = compute_gram(source)
+        gram = compute_gram(source, jobs=jobs)
         singular, v = spectrum_from_gram(gram, k_max, fitter.eigensolver)
     _record_pass(1, pass1_start, num_rows)
     k_max = singular.shape[0]
@@ -125,6 +132,7 @@ def build_compressed(
                 staging / "u.mat",
                 page_size=_u_page_size(k_opt, bytes_per_value),
                 dtype=factor_dtype,
+                jobs=jobs,
             )
             u_store.close()
         _record_pass(3, pass3_start, num_rows)

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import threading
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError
@@ -78,6 +80,10 @@ class DeltaIndex:
         self._col_order: np.ndarray | None = None  # built on first for_col
         #: Probe accounting: scalar/batched lookups, keys tested, hits.
         self.stats = {"lookups": 0, "keys_probed": 0, "hits": 0}
+        # The key/value arrays are immutable after construction, so
+        # concurrent lookups are safe; only the stats dict mutates and
+        # its read-modify-write increments go through this lock.
+        self._stats_lock = threading.Lock()
 
     @classmethod
     def from_items(cls, items: Iterable[tuple[int, float]], num_cols: int) -> "DeltaIndex":
@@ -132,12 +138,13 @@ class DeltaIndex:
 
     def get(self, key: int, default: float = 0.0) -> float:
         """Value for one cell key, or ``default`` when not stored."""
-        stats = self.stats
-        stats["lookups"] += 1
-        stats["keys_probed"] += 1
+        with self._stats_lock:
+            self.stats["lookups"] += 1
+            self.stats["keys_probed"] += 1
         pos = int(np.searchsorted(self._keys, key))
         if pos < self._keys.size and self._keys[pos] == key:
-            stats["hits"] += 1
+            with self._stats_lock:
+                self.stats["hits"] += 1
             return float(self._values[pos])
         return default
 
@@ -162,10 +169,10 @@ class DeltaIndex:
         clipped = np.minimum(pos, self._keys.size - 1)
         found = (pos < self._keys.size) & (self._keys[clipped] == keys)
         out[found] = self._values[clipped[found]]
-        stats = self.stats
-        stats["lookups"] += 1
-        stats["keys_probed"] += int(keys.size)
-        stats["hits"] += int(found.sum())
+        with self._stats_lock:
+            self.stats["lookups"] += 1
+            self.stats["keys_probed"] += int(keys.size)
+            self.stats["hits"] += int(found.sum())
         if _obs.enabled:
             _obs.counter("delta.lookups").inc()
             _obs.counter("delta.keys_probed").inc(int(keys.size))
@@ -199,8 +206,9 @@ class DeltaIndex:
         """
         row_sel = np.asarray(row_sel, dtype=np.int64)
         col_sel = np.asarray(col_sel, dtype=np.int64)
-        self.stats["lookups"] += 1
-        self.stats["keys_probed"] += int(self._keys.size)
+        with self._stats_lock:
+            self.stats["lookups"] += 1
+            self.stats["keys_probed"] += int(self._keys.size)
         if _obs.enabled:
             _obs.counter("delta.lookups").inc()
             _obs.counter("delta.keys_probed").inc(int(self._keys.size))

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -120,6 +121,14 @@ class CompressedMatrix:
             "table_probes": 0,
             "zero_row_skips": 0,
         }
+        # Guards the stats dict: dict ``+=`` is a read-modify-write, and
+        # the QueryExecutor issues queries from many threads.
+        self._stats_lock = threading.Lock()
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        """Thread-safe increment of one query-stat counter."""
+        with self._stats_lock:
+            self.stats[key] += amount
 
     # -- persistence --------------------------------------------------------
 
@@ -506,9 +515,9 @@ class CompressedMatrix:
             return 0.0
         key = cell_key(row, col, self.shape[1])
         if self._bloom is not None and key not in self._bloom:
-            self.stats["bloom_skips"] += 1
+            self._bump("bloom_skips")
             return 0.0
-        self.stats["table_probes"] += 1
+        self._bump("table_probes")
         return self._deltas.get(key, 0.0)
 
     def _zero_mask(self, row_idx: np.ndarray) -> np.ndarray:
@@ -524,10 +533,10 @@ class CompressedMatrix:
             raise QueryError(f"row {row} out of range [0, {rows})")
         if not 0 <= col < cols:
             raise QueryError(f"col {col} out of range [0, {cols})")
-        self.stats["cell_queries"] += 1
+        self._bump("cell_queries")
         if row in self._zero_rows:
             # Flagged inactive customer: answer without any disk access.
-            self.stats["zero_row_skips"] += 1
+            self._bump("zero_row_skips")
             return 0.0
         u_row = self._u_store.row(row)[: self.cutoff]
         base = float(np.dot(u_row * self._eigenvalues, self._v[col]))
@@ -539,7 +548,7 @@ class CompressedMatrix:
         if not 0 <= row < rows:
             raise QueryError(f"row {row} out of range [0, {rows})")
         if row in self._zero_rows:
-            self.stats["zero_row_skips"] += 1
+            self._bump("zero_row_skips")
             return np.zeros(cols)
         u_row = self._u_store.row(row)[: self.cutoff]
         out = (u_row * self._eigenvalues) @ self._v.T
@@ -585,9 +594,9 @@ class CompressedMatrix:
             raise QueryError(f"row selection outside [0, {total_rows})")
         if col_idx.min() < 0 or col_idx.max() >= total_cols:
             raise QueryError(f"col selection outside [0, {total_cols})")
-        self.stats["cell_queries"] += int(row_idx.size)
+        self._bump("cell_queries", int(row_idx.size))
         zero = self._zero_mask(row_idx)
-        self.stats["zero_row_skips"] += int(zero.sum())
+        self._bump("zero_row_skips", int(zero.sum()))
         out = np.zeros(row_idx.size)
         live = ~zero
         if live.any():
@@ -597,7 +606,7 @@ class CompressedMatrix:
             )
             out[live] = np.einsum("ik,ik->i", scaled_u, self._v[col_idx[live]])
         if self._deltas is not None and len(self._deltas) > 0:
-            self.stats["table_probes"] += int(row_idx.size)
+            self._bump("table_probes", int(row_idx.size))
             out += self._deltas.lookup(row_idx * total_cols + col_idx)
         return out
 
@@ -624,7 +633,7 @@ class CompressedMatrix:
         v_sel = self._v[col_idx]  # (m_sel, k)
         out = np.zeros((row_idx.size, col_idx.size))
         zero = self._zero_mask(row_idx)
-        self.stats["zero_row_skips"] += int(zero.sum())
+        self._bump("zero_row_skips", int(zero.sum()))
         live = ~zero
         if live.any():
             u_sel = self._u_store.read_rows(row_idx[live])[:, : self.cutoff]

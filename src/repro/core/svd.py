@@ -18,6 +18,9 @@ stream).
 
 from __future__ import annotations
 
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -35,11 +38,19 @@ _RANK_TOL = 1e-12
 _CHUNK_ROWS = 128
 
 
-def _row_chunks(source: MatrixStore | np.ndarray) -> Iterator[np.ndarray]:
-    """Yield row blocks from either a store (streamed) or an ndarray."""
+def _row_chunks(
+    source: MatrixStore | np.ndarray,
+    start: int = 0,
+    stop: int | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield row blocks from either a store (streamed) or an ndarray.
+
+    ``start``/``stop`` restrict the scan to a contiguous row band —
+    the unit of work the parallel passes hand to each worker.
+    """
     if isinstance(source, MatrixStore):
         block: list[np.ndarray] = []
-        for _, row in source.iter_rows():
+        for _, row in source.iter_rows(start, stop):
             block.append(row)
             if len(block) >= _CHUNK_ROWS:
                 yield np.vstack(block)
@@ -50,8 +61,22 @@ def _row_chunks(source: MatrixStore | np.ndarray) -> Iterator[np.ndarray]:
         arr = np.asarray(source, dtype=np.float64)
         if arr.ndim != 2 or arr.size == 0:
             raise ShapeError(f"expected a non-empty 2-d matrix, got shape {arr.shape}")
-        for start in range(0, arr.shape[0], _CHUNK_ROWS):
-            yield arr[start : start + _CHUNK_ROWS]
+        stop = arr.shape[0] if stop is None else stop
+        for begin in range(start, stop, _CHUNK_ROWS):
+            yield arr[begin : min(begin + _CHUNK_ROWS, stop)]
+
+
+def _row_bands(num_rows: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``[0, num_rows)`` into at most ``jobs`` contiguous bands."""
+    jobs = max(1, min(int(jobs), num_rows))
+    size, extra = divmod(num_rows, jobs)
+    bands = []
+    begin = 0
+    for index in range(jobs):
+        end = begin + size + (1 if index < extra else 0)
+        bands.append((begin, end))
+        begin = end
+    return bands
 
 
 def source_shape(source: MatrixStore | np.ndarray) -> tuple[int, int]:
@@ -64,21 +89,55 @@ def source_shape(source: MatrixStore | np.ndarray) -> tuple[int, int]:
     return arr.shape
 
 
-def compute_gram(source: MatrixStore | np.ndarray) -> np.ndarray:
+def compute_gram(source: MatrixStore | np.ndarray, jobs: int = 1) -> np.ndarray:
     """Pass 1: the ``M x M`` column-to-column similarity matrix ``C = X^t X``.
 
-    One sequential pass; memory is O(M^2) regardless of N (the paper's
-    stated requirement).
+    One pass over the data; memory is O(M^2) per worker regardless of N
+    (the paper's stated requirement).
+
+    With ``jobs > 1`` the row range is split into ``jobs`` contiguous
+    bands scanned concurrently, each worker accumulating into its own
+    ``M x M`` local Gram; the locals are summed at the end.  Because
+    ``C = sum_i x_i^t x_i``, banding changes only the summation order of
+    independent outer products — the workers never share an accumulator,
+    so no locks are needed and there are no read-modify-write races.
+    The band scans collectively read every row exactly once, so a
+    :class:`MatrixStore` source still counts the work as one pass.
     """
-    gram: np.ndarray | None = None
-    for block in _row_chunks(source):
-        if gram is None:
-            gram = np.zeros((block.shape[1], block.shape[1]))
-        gram += block.T @ block
-    if gram is None:
+    num_rows, _ = source_shape(source)
+    if num_rows == 0:
         raise ShapeError("source produced no rows")
-    # Accumulation is exactly symmetric in theory; enforce it so the
-    # eigensolver sees a clean symmetric input despite float rounding.
+    bands = _row_bands(num_rows, jobs)
+    if len(bands) == 1:
+        gram: np.ndarray | None = None
+        for block in _row_chunks(source):
+            if gram is None:
+                gram = np.zeros((block.shape[1], block.shape[1]))
+            gram += block.T @ block
+        if gram is None:
+            raise ShapeError("source produced no rows")
+        # Accumulation is exactly symmetric in theory; enforce it so the
+        # eigensolver sees a clean symmetric input despite float rounding.
+        return (gram + gram.T) / 2.0
+
+    def band_gram(band: tuple[int, int]) -> np.ndarray | None:
+        local: np.ndarray | None = None
+        for block in _row_chunks(source, band[0], band[1]):
+            if local is None:
+                local = np.zeros((block.shape[1], block.shape[1]))
+            local += block.T @ block
+        return local
+
+    with ThreadPoolExecutor(
+        max_workers=len(bands), thread_name_prefix="repro-gram"
+    ) as pool:
+        locals_ = [g for g in pool.map(band_gram, bands) if g is not None]
+    if not locals_:
+        raise ShapeError("source produced no rows")
+    gram = np.sum(locals_, axis=0)
+    if isinstance(source, MatrixStore):
+        # The bands together covered the matrix once: one paper pass.
+        source.note_full_scan()
     return (gram + gram.T) / 2.0
 
 
@@ -142,6 +201,7 @@ def compute_u_to_store(
     destination,
     page_size: int | None = None,
     dtype=np.float64,
+    jobs: int = 1,
 ):
     """Pass 2 variant that streams U rows straight to a new MatrixStore.
 
@@ -149,11 +209,19 @@ def compute_u_to_store(
     ``U`` is ever materialized — each row block is projected and
     appended to the on-disk store.  Returns the open store.
 
+    With ``jobs > 1`` the projection is double-buffered: a producer
+    thread reads source blocks and computes ``(block @ V) L^{-1}``
+    while the caller's thread drains a two-slot queue and appends the
+    finished blocks to the page file.  Compute and write I/O overlap;
+    row order (and thus the output file) is byte-identical to the
+    sequential path because the queue preserves block order.
+
     Args:
         destination: path for the U store.
         page_size: page size for the U store (default: one U row,
             giving the paper's one-access layout).
         dtype: on-disk element type of U.
+        jobs: ``> 1`` enables the overlapped producer/writer pipeline.
     """
     from repro.storage.matrix_store import MatrixStore
 
@@ -169,15 +237,76 @@ def compute_u_to_store(
     if page_size is None:
         page_size = max(64, cols * item)
 
+    if jobs > 1:
+        u_blocks = _overlapped_projection(source, vmat, inv_lam)
+    else:
+        u_blocks = (
+            (block @ vmat) * inv_lam for block in _row_chunks(source)
+        )
+
     def u_rows():
-        for block in _row_chunks(source):
-            projected = (block @ vmat) * inv_lam
+        for projected in u_blocks:
             for row in projected:
                 yield row
 
     return MatrixStore.create_from_rows(
         destination, u_rows(), num_cols=cols, page_size=page_size, dtype=dtype
     )
+
+
+#: Depth of the pass-3 double buffer: one block being written while the
+#: next is being computed; a third slot would only add memory.
+_PIPELINE_DEPTH = 2
+
+#: Sentinel closing the producer/writer queue.
+_DONE = object()
+
+
+def _overlapped_projection(
+    source: "MatrixStore | np.ndarray",
+    vmat: np.ndarray,
+    inv_lam: np.ndarray,
+) -> Iterator[np.ndarray]:
+    """Yield projected U blocks computed by a background producer.
+
+    The producer reads and projects source blocks into a bounded queue;
+    this generator (running on the writer's thread) drains it in order.
+    A producer exception is forwarded through the queue and re-raised
+    here, so failures surface on the caller's thread as usual.
+    """
+    blocks: queue.Queue = queue.Queue(maxsize=_PIPELINE_DEPTH)
+
+    def produce() -> None:
+        try:
+            for block in _row_chunks(source):
+                blocks.put((block @ vmat) * inv_lam)
+        except BaseException as exc:  # forwarded, not swallowed
+            blocks.put(exc)
+        else:
+            blocks.put(_DONE)
+
+    worker = threading.Thread(
+        target=produce, name="repro-u-producer", daemon=True
+    )
+    worker.start()
+    try:
+        while True:
+            item = blocks.get()
+            if item is _DONE:
+                break
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+    finally:
+        # If the writer bailed early the producer may be parked on a
+        # full queue; keep draining until it exits so join() can't hang.
+        while worker.is_alive():
+            try:
+                blocks.get_nowait()
+            except queue.Empty:
+                pass
+            worker.join(timeout=0.005)
+        worker.join()
 
 
 class SVDCompressor:

@@ -19,6 +19,15 @@ off: every hot-path site guards on the plain attribute
 ``registry.enabled`` (one load + branch, no allocation), and the
 component stat structs it registers are the same cheap integer fields
 the storage layer has always maintained.
+
+All metric mutations are **thread-safe**: counters and histograms take
+a per-metric lock (an uncontended CPython lock is tens of nanoseconds),
+gauges expose an atomic ``add`` for in-flight accounting, and
+``snapshot`` copies the metric maps under the registry lock so
+concurrent metric creation cannot corrupt an export.  This is what
+keeps the pool/pager/executor counters honest when the
+:class:`~repro.query.executor.QueryExecutor` runs queries on many
+threads.
 """
 
 from __future__ import annotations
@@ -38,29 +47,49 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric.
 
-    __slots__ = ("value",)
+    ``inc`` is thread-safe: Python's ``+=`` on an attribute is a
+    read-modify-write that can interleave between threads, so the
+    increment happens under a per-counter lock.  Reading ``value`` needs
+    no lock (it is a single attribute load of an int).
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        """Add ``amount`` (default 1)."""
-        self.value += int(amount)
+        """Add ``amount`` (default 1); safe to call from any thread."""
+        with self._lock:
+            self.value += int(amount)
 
 
 class Gauge:
-    """A point-in-time numeric metric (last write wins)."""
+    """A point-in-time numeric metric (last write wins).
 
-    __slots__ = ("value",)
+    ``set`` is a single atomic attribute store and needs no lock;
+    ``add`` (used for in-flight style gauges such as the executor's
+    ``executor.concurrency``) is a read-modify-write and takes one.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current value."""
         self.value = float(value)
+
+    def add(self, delta: float) -> float:
+        """Shift the gauge by ``delta`` atomically; returns the new value."""
+        with self._lock:
+            self.value += float(delta)
+            return self.value
 
 
 class Histogram:
@@ -68,26 +97,30 @@ class Histogram:
 
     Used for nanosecond span durations; no buckets are kept — the
     summary is enough to answer "how long did pass 2 take" and "what is
-    the mean per-query GEMM time" without unbounded memory.
+    the mean per-query GEMM time" without unbounded memory.  ``observe``
+    updates four fields that must stay mutually consistent, so it runs
+    under a per-histogram lock.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation; safe to call from any thread."""
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -234,18 +267,26 @@ class MetricsRegistry:
     # -- export ----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Everything the registry knows, as one JSON-ready dict."""
+        """Everything the registry knows, as one JSON-ready dict.
+
+        The metric maps are copied under the registry lock so a thread
+        creating a new counter mid-snapshot cannot break the iteration.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         out: dict = {
             "enabled": self.enabled,
             "counters": {
-                name: counter.value for name, counter in sorted(self._counters.items())
+                name: counter.value for name, counter in sorted(counters.items())
             },
             "gauges": {
-                name: gauge.value for name, gauge in sorted(self._gauges.items())
+                name: gauge.value for name, gauge in sorted(gauges.items())
             },
             "histograms": {
                 name: histogram.to_dict()
-                for name, histogram in sorted(self._histograms.items())
+                for name, histogram in sorted(histograms.items())
             },
         }
         for kind in sorted(self._sources):

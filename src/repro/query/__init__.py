@@ -22,6 +22,7 @@ SVDD for aggregate queries').
 
 from repro.query.calendar import month_columns, week_columns, weekday_columns, weekend_columns
 from repro.query.engine import CellQuery, AggregateQuery, QueryEngine, QueryResult
+from repro.query.executor import BatchReport, QueryExecutor
 from repro.query.groupby import column_totals, row_totals, top_rows
 from repro.query.parser import format_query, parse_query
 from repro.query.sampling import UniformSamplingEstimator
@@ -49,8 +50,10 @@ __all__ = [
     "factor_distances",
     "similar_rows",
     "similar_to_vector",
+    "BatchReport",
     "CellQuery",
     "QueryEngine",
+    "QueryExecutor",
     "QueryResult",
     "Selection",
     "UniformSamplingEstimator",

@@ -12,6 +12,7 @@ form) — which is precisely how the paper measures Q_err.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 
@@ -160,6 +161,10 @@ class QueryEngine:
         self._backend = _Backend(backend)
         self._use_fast_path = use_fast_path
         self.stats = {"fast_path_hits": 0, "streamed": 0}
+        # Query evaluation itself is stateless per call; this lock only
+        # guards the path counters so concurrent executor workers can
+        # share one engine without losing increments.
+        self._stats_lock = threading.Lock()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -274,7 +279,8 @@ class QueryEngine:
             )
             if outcome is not None:
                 value, rows_fetched = outcome
-                self.stats["fast_path_hits"] += 1
+                with self._stats_lock:
+                    self.stats["fast_path_hits"] += 1
                 return (
                     QueryResult(
                         value=value,
@@ -283,7 +289,8 @@ class QueryEngine:
                     ),
                     "factor",
                 )
-        self.stats["streamed"] += 1
+        with self._stats_lock:
+            self.stats["streamed"] += 1
         total = 0.0
         total_sq = 0.0
         minimum = np.inf

@@ -1,0 +1,203 @@
+"""Concurrent query serving over one shared backend.
+
+The paper's target deployment (Section 1) is a warehouse answering ad
+hoc queries from many analysts at once.  A single
+:class:`~repro.query.engine.QueryEngine` call is already cheap, but the
+interesting systems question is throughput under concurrency: can N
+clients share one :class:`~repro.core.store.CompressedMatrix` without
+serializing on the storage layer?
+
+:class:`QueryExecutor` answers that with a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor` over one engine.  The
+design leans on three properties of the stack underneath:
+
+- ``FilePager`` reads with positionless ``os.pread``, so concurrent
+  page fetches never race on a shared file offset and take no lock;
+- ``BufferPool`` stripes its cache across shards (hash of the page id),
+  so two threads touching different pages rarely contend on the same
+  lock, and all page data is immutable once cached;
+- NumPy releases the GIL inside the GEMM/gather kernels that dominate
+  aggregate evaluation, so threads genuinely overlap on multi-core
+  hosts (and still overlap I/O with compute on one core).
+
+Per-query accounting is preserved: each result carries its own
+:class:`~repro.obs.profile.QueryProfile` when telemetry is enabled,
+and the executor exports ``executor.concurrency`` (in-flight queries),
+``executor.workers``, and ``executor.queries`` through the process
+registry.
+
+Example::
+
+    with QueryExecutor(model, max_workers=4) as pool:
+        report = pool.run_batch(["sum() rows 0:50 cols 0:30", (3, 7)])
+    print(report.throughput_qps)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.obs.registry import registry as _obs
+from repro.query.engine import AggregateQuery, CellQuery, QueryEngine, QueryResult
+from repro.query.parser import parse_query
+
+__all__ = ["BatchReport", "QueryExecutor"]
+
+#: Upper bound on the default worker count: query work is a mix of
+#: GIL-releasing kernels and page I/O, so a couple of threads beyond
+#: the core count helps, but unbounded pools just burn memory.
+_DEFAULT_MAX_WORKERS = 8
+
+Query = "CellQuery | AggregateQuery | tuple | str"
+
+
+def _default_workers() -> int:
+    return max(1, min(_DEFAULT_MAX_WORKERS, (os.cpu_count() or 1) + 2))
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of :meth:`QueryExecutor.run_batch`.
+
+    ``results`` preserves submission order.  ``throughput_qps`` is
+    queries divided by wall time, the figure the concurrency benchmark
+    plots against worker count.
+    """
+
+    results: list = field(repr=False)
+    queries: int
+    workers: int
+    wall_s: float
+    throughput_qps: float
+
+
+class QueryExecutor:
+    """A bounded thread pool serving queries against one backend.
+
+    Accepts the same backend types as :class:`QueryEngine` (ndarray,
+    ``MatrixStore``, in-memory models, ``CompressedMatrix``) and the
+    same query forms: :class:`CellQuery`, :class:`AggregateQuery`,
+    ``(row, col)`` tuples, or query text for
+    :func:`~repro.query.parser.parse_query`.
+
+    Args:
+        backend: shared data source; must be thread-safe for reads
+            (every shipped backend is).
+        max_workers: pool size; defaults to ``min(8, cores + 2)``.
+        use_fast_path: forwarded to the underlying engine.
+        close_backend: close the backend on :meth:`shutdown` (used by
+            :meth:`repro.warehouse.Warehouse.executor`, which opens the
+            model itself and hands ownership to the pool).
+    """
+
+    def __init__(
+        self,
+        backend,
+        max_workers: int | None = None,
+        use_fast_path: bool = True,
+        close_backend: bool = False,
+    ) -> None:
+        workers = _default_workers() if max_workers is None else int(max_workers)
+        if workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._engine = QueryEngine(backend, use_fast_path=use_fast_path)
+        self._backend = backend
+        self._close_backend = close_backend
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        )
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self.max_workers = workers
+        _obs.gauge("executor.workers").set(workers)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, drain the pool, optionally close the
+        backend (idempotent)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self._pool.shutdown(wait=wait)
+        if self._close_backend and hasattr(self._backend, "close"):
+            self._backend.close()
+
+    # -- query dispatch -------------------------------------------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The shared engine (e.g. for ``explain`` or path stats)."""
+        return self._engine
+
+    def submit(self, query) -> "Future[QueryResult]":
+        """Schedule one query; returns a future of its
+        :class:`~repro.query.engine.QueryResult`."""
+        if self._shutdown:
+            raise RuntimeError("QueryExecutor is shut down")
+        return self._pool.submit(self._run_one, self._coerce(query))
+
+    def map(self, queries) -> list:
+        """Run ``queries`` across the pool; results in submission order.
+
+        A failing query raises when its slot is reached, after all
+        submissions have been scheduled.
+        """
+        futures = [self.submit(query) for query in queries]
+        return [future.result() for future in futures]
+
+    def run_batch(self, queries) -> BatchReport:
+        """Run ``queries`` and report batch throughput alongside the
+        ordered results."""
+        items = list(queries)
+        start = time.perf_counter()
+        results = self.map(items)
+        wall = time.perf_counter() - start
+        return BatchReport(
+            results=results,
+            queries=len(items),
+            workers=self.max_workers,
+            wall_s=wall,
+            throughput_qps=len(items) / wall if wall > 0 else float("inf"),
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _coerce(self, query):
+        """Normalize the accepted query forms to engine query objects."""
+        if isinstance(query, (CellQuery, AggregateQuery)):
+            return query
+        if isinstance(query, str):
+            return parse_query(query)
+        if isinstance(query, tuple) and len(query) == 2:
+            return CellQuery(int(query[0]), int(query[1]))
+        raise QueryError(
+            f"unsupported query form {type(query).__name__}: expected "
+            "CellQuery, AggregateQuery, (row, col), or query text"
+        )
+
+    def _run_one(self, query) -> QueryResult:
+        """Worker body: execute one query with in-flight accounting."""
+        gauge = _obs.gauge("executor.concurrency")
+        gauge.add(1.0)
+        try:
+            if isinstance(query, CellQuery):
+                result = self._engine.cell(query)
+            else:
+                result = self._engine.aggregate(query)
+            _obs.counter("executor.queries").inc()
+            return result
+        finally:
+            gauge.add(-1.0)

@@ -1,22 +1,47 @@
-"""LRU buffer pool over a :class:`~repro.storage.pager.FilePager`.
+"""Lock-striped LRU buffer pool over a :class:`~repro.storage.pager.FilePager`.
 
 The pool caches a bounded number of pages and records hits, misses and
 evictions.  The paper's reconstruction-cost argument — one disk access
 per cell because the row of ``U`` lives in one block while ``V`` and
 ``Lambda`` are pinned — is demonstrated in the benchmarks by reading a
 random-cell workload through a pool and inspecting these counters.
+
+Concurrency model: the pool is **striped into shards**.  A page id
+hashes to exactly one shard (``page_id % num_shards``), and each shard
+owns its own mutex plus its own LRU / clock state, so concurrent
+readers touching different pages proceed without contending on a single
+pool-wide lock.  Page *data* is immutable once read (the stores are
+read-only at query time), which keeps the races benign by construction:
+the worst interleaving is two threads missing on the same page and both
+reading it from the pager — duplicate work, never wrong bytes.  Physical
+I/O always happens **outside** the shard lock, so a slow disk read on
+one page never blocks cached hits on its shard siblings.
+
+Single-shard pools (the default for small capacities) behave exactly
+like the historical unsharded pool — same eviction order, same
+counters — with one uncontended lock acquisition per access.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, PageError
 from repro.obs.registry import registry as _obs
 from repro.storage.pager import FilePager
+
+#: Capacity below which a pool defaults to a single shard: tiny pools
+#: gain nothing from striping, and the exact global-LRU semantics are
+#: worth keeping where eviction order is observable.
+_AUTO_SHARD_MIN_CAPACITY = 32
+
+#: Upper bound on auto-selected shards; each shard should keep a
+#: meaningful number of resident pages or eviction degrades to FIFO.
+_AUTO_SHARD_MAX = 8
 
 
 @dataclass
@@ -29,12 +54,18 @@ class PoolStats:
     :meth:`BufferPool.get_page_range`).  They are real accesses: without
     them a ``read_rows``-heavy workload would appear to have a high hit
     rate simply because its cold reads were never counted.
+
+    Mutation goes through :meth:`add`, which holds a per-struct lock so
+    the counts stay exact when many threads share one pool.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     bypasses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def accesses(self) -> int:
@@ -46,12 +77,27 @@ class PoolStats:
         """Fraction of requests served from memory (0 when never used)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def add(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        bypasses: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+            self.evictions += evictions
+            self.bypasses += bypasses
+
     def reset(self) -> None:
         """Zero all counters."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.bypasses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.bypasses = 0
 
     def to_dict(self) -> dict:
         """Counters as a JSON-ready dict (registry export format)."""
@@ -65,8 +111,124 @@ class PoolStats:
         }
 
 
+class _Shard:
+    """One stripe of the pool: a mutex plus its private cache state.
+
+    All fields are guarded by :attr:`lock`; callers (the pool) take it
+    around every access.  Eviction counts are reported back to the
+    shared :class:`PoolStats` by the pool, not here.
+    """
+
+    __slots__ = (
+        "lock",
+        "capacity",
+        "policy",
+        "pages",
+        "pinned",
+        "referenced",
+        "hand",
+        "hand_pos",
+    )
+
+    def __init__(self, capacity: int, policy: str) -> None:
+        self.lock = threading.RLock()
+        self.capacity = capacity
+        self.policy = policy
+        self.pages: OrderedDict[int, bytes] = OrderedDict()
+        self.pinned: set[int] = set()
+        # CLOCK state: reference bits and the hand's position.
+        self.referenced: dict[int, bool] = {}
+        self.hand: list[int] = []
+        self.hand_pos = 0
+
+    # The caller holds ``lock`` for every method below.
+
+    def touch(self, page_id: int) -> None:
+        """Record a hit on a resident page (policy bookkeeping)."""
+        if self.policy == "lru":
+            self.pages.move_to_end(page_id)
+        else:
+            self.referenced[page_id] = True
+
+    def insert(self, page_id: int, data: bytes) -> int:
+        """Cache a page, evicting as needed; returns evictions performed."""
+        if page_id in self.pages:
+            # A racing reader cached it first; the bytes are identical.
+            self.touch(page_id)
+            return 0
+        self.pages[page_id] = data
+        if self.policy == "lru":
+            self.pages.move_to_end(page_id)
+        else:
+            self.referenced[page_id] = True
+            self.hand.append(page_id)
+        evicted = 0
+        while len(self.pages) > self.capacity:
+            if self._evict_one() is None:
+                # Everything resident is pinned; allow temporary overflow
+                # rather than fail a read.
+                break
+            evicted += 1
+        return evicted
+
+    def drop(self, page_id: int) -> None:
+        """Remove one page and its policy state (no eviction count)."""
+        self.pages.pop(page_id, None)
+        self.pinned.discard(page_id)
+        if page_id in self.referenced:
+            del self.referenced[page_id]
+            self.hand = [pid for pid in self.hand if pid != page_id]
+            self.hand_pos = self.hand_pos % max(1, len(self.hand))
+
+    def clear(self) -> None:
+        """Drop everything, including pins and clock state."""
+        self.pages.clear()
+        self.pinned.clear()
+        self.referenced.clear()
+        self.hand = []
+        self.hand_pos = 0
+
+    def _evict_one(self) -> int | None:
+        if self.policy == "clock":
+            return self._evict_clock()
+        for candidate in self.pages:
+            if candidate not in self.pinned:
+                del self.pages[candidate]
+                return candidate
+        return None
+
+    def _evict_clock(self) -> int | None:
+        """Second-chance sweep: clear reference bits until a victim."""
+        if not self.hand:
+            return None
+        sweeps = 0
+        max_steps = 2 * len(self.hand) + 1
+        while sweeps < max_steps:
+            self.hand_pos %= len(self.hand)
+            candidate = self.hand[self.hand_pos]
+            if candidate in self.pinned:
+                self.hand_pos += 1
+            elif self.referenced.get(candidate, False):
+                self.referenced[candidate] = False
+                self.hand_pos += 1
+            else:
+                self.hand.pop(self.hand_pos)
+                del self.referenced[candidate]
+                del self.pages[candidate]
+                return candidate
+            sweeps += 1
+        return None
+
+
+def _auto_shards(capacity: int) -> int:
+    """Default stripe count for a pool of ``capacity`` pages."""
+    if capacity < _AUTO_SHARD_MIN_CAPACITY:
+        return 1
+    return max(1, min(_AUTO_SHARD_MAX, capacity // (_AUTO_SHARD_MIN_CAPACITY // 2)))
+
+
 class BufferPool:
-    """Page cache with pinning and a pluggable eviction policy.
+    """Sharded page cache with pinning and a pluggable eviction policy.
 
     Policies:
 
@@ -79,10 +241,15 @@ class BufferPool:
 
     Args:
         pager: the page source.
-        capacity: maximum number of cached pages (>= 1).
-        policy: ``"lru"`` or ``"clock"``.
+        capacity: maximum number of cached pages (>= 1), summed across
+            shards.
+        policy: ``"lru"`` or ``"clock"`` (applies per shard).
         name: label under which the pool's counters are exported by the
             metrics registry; defaults to the backing file's name.
+        shards: number of lock stripes.  ``None`` picks automatically —
+            1 for small pools (exact historical semantics), up to 8 for
+            large ones so concurrent readers don't serialize on one
+            mutex.  Eviction is local to each shard.
     """
 
     def __init__(
@@ -91,6 +258,7 @@ class BufferPool:
         capacity: int = 64,
         policy: str = "lru",
         name: str | None = None,
+        shards: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -98,32 +266,78 @@ class BufferPool:
             raise ConfigurationError(
                 f"policy must be 'lru' or 'clock', got {policy!r}"
             )
+        if shards is None:
+            shards = _auto_shards(capacity)
+        if shards < 1 or shards > capacity:
+            raise ConfigurationError(
+                f"shards must be in [1, capacity={capacity}], got {shards}"
+            )
         self.pager = pager
         self.capacity = capacity
         self.policy = policy
         self.name = name if name is not None else pager.path.name
         self.stats = PoolStats()
         _obs.register_source("pools", self.name, self.stats)
-        self._pages: OrderedDict[int, bytes] = OrderedDict()
-        self._pinned: set[int] = set()
-        # CLOCK state: reference bits and the hand's position.
-        self._referenced: dict[int, bool] = {}
-        self._hand: list[int] = []
-        self._hand_pos = 0
+        # Split the capacity across shards; earlier shards absorb the
+        # remainder so the total is exactly ``capacity``.
+        base, extra = divmod(capacity, shards)
+        self._shards = [
+            _Shard(base + (1 if index < extra else 0), policy)
+            for index in range(shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of lock stripes backing this pool."""
+        return len(self._shards)
+
+    def _shard_of(self, page_id: int) -> _Shard:
+        return self._shards[page_id % len(self._shards)]
 
     def get_page(self, page_id: int) -> bytes:
-        """Return page contents, loading through the pager on a miss."""
-        if page_id in self._pages:
-            self.stats.hits += 1
-            if self.policy == "lru":
-                self._pages.move_to_end(page_id)
-            else:
-                self._referenced[page_id] = True
-            return self._pages[page_id]
-        self.stats.misses += 1
+        """Return page contents, loading through the pager on a miss.
+
+        The physical read on a miss happens outside the shard lock, so a
+        slow disk never blocks hits on other pages of the same shard.
+        """
+        shard = self._shard_of(page_id)
+        with shard.lock:
+            data = shard.pages.get(page_id)
+            if data is not None:
+                self.stats.add(hits=1)
+                shard.touch(page_id)
+                return data
         data = self.pager.read_page(page_id)
-        self._insert(page_id, data)
+        with shard.lock:
+            evicted = shard.insert(page_id, data)
+        self.stats.add(misses=1, evictions=evicted)
         return data
+
+    def _probe_resident(self, ids: np.ndarray) -> tuple[dict[int, bytes], list[int]]:
+        """Split ``ids`` into resident pages (copied out, touched, counted
+        as hits) and missing ones, taking each shard's lock once."""
+        out: dict[int, bytes] = {}
+        missing: list[int] = []
+        num_shards = len(self._shards)
+        hits = 0
+        for shard_index in range(num_shards):
+            shard = self._shards[shard_index]
+            mine = ids[ids % num_shards == shard_index] if num_shards > 1 else ids
+            if mine.size == 0:
+                continue
+            with shard.lock:
+                for pid in mine.tolist():
+                    data = shard.pages.get(pid)
+                    if data is not None:
+                        hits += 1
+                        shard.touch(pid)
+                        out[pid] = data
+                    else:
+                        missing.append(pid)
+        if hits:
+            self.stats.add(hits=hits)
+        missing.sort()
+        return out, missing
 
     def get_pages(self, page_ids) -> dict[int, bytes]:
         """Fetch a batch of pages, touching each distinct page once.
@@ -140,20 +354,7 @@ class BufferPool:
         ids = np.unique(np.asarray(list(page_ids), dtype=np.int64))
         if ids.size == 0:
             return {}
-        if self._pages:
-            cached = np.fromiter(self._pages.keys(), dtype=np.int64)
-            hit_mask = np.isin(ids, cached)
-        else:
-            hit_mask = np.zeros(ids.size, dtype=bool)
-        out: dict[int, bytes] = {}
-        for pid in ids[hit_mask].tolist():
-            self.stats.hits += 1
-            if self.policy == "lru":
-                self._pages.move_to_end(pid)
-            else:
-                self._referenced[pid] = True
-            out[pid] = self._pages[pid]
-        missing = ids[~hit_mask].tolist()
+        out, missing = self._probe_resident(ids)
         if missing:
             loaded = self.pager.read_pages(missing)
             out.update(loaded)
@@ -165,10 +366,16 @@ class BufferPool:
                 # and cache just the tail of the scan; the rest of the
                 # batch bypasses the cache but still counts as accesses.
                 cached_tail = missing[-max(self.capacity // 2, 1) :]
-            self.stats.misses += len(cached_tail)
-            self.stats.bypasses += len(missing) - len(cached_tail)
+            evicted = 0
             for pid in cached_tail:
-                self._insert(pid, loaded[pid])
+                shard = self._shard_of(pid)
+                with shard.lock:
+                    evicted += shard.insert(pid, loaded[pid])
+            self.stats.add(
+                misses=len(cached_tail),
+                bypasses=len(missing) - len(cached_tail),
+                evictions=evicted,
+            )
         return out
 
     def get_page_range(self, page_ids) -> tuple[int, bytes]:
@@ -188,107 +395,64 @@ class BufferPool:
             raise PageError("get_page_range requires at least one page id")
         first = int(ids[0])
         last = int(ids[-1])
-        if self._pages:
-            cached = np.fromiter(self._pages.keys(), dtype=np.int64)
-            hit_mask = np.isin(ids, cached)
-        else:
-            hit_mask = np.zeros(ids.size, dtype=bool)
-        self.stats.hits += int(hit_mask.sum())
+        resident, missed = self._probe_resident(ids)
         blob = self.pager.read_page_span(first, last)
         # The span fetched every page first..last; the unrequested ones
         # are coalescing gaps (the pager cannot know the requested set).
-        self.pager.stats.gap_pages += (last - first + 1) - int(ids.size)
+        self.pager.stats.add(gap_pages=(last - first + 1) - int(ids.size))
         page_size = self.pager.page_size
         keep = ids[-max(self.capacity // 2, 1) :].tolist()
         keep_set = set(keep)
         # Missed pages that join the cache are misses; the rest of the
         # span's requested pages bypass the cache (still accesses).
-        missed = ids[~hit_mask].tolist()
         cached_misses = sum(1 for pid in missed if pid in keep_set)
-        self.stats.misses += cached_misses
-        self.stats.bypasses += len(missed) - cached_misses
+        evicted = 0
         for pid in keep:
-            if pid not in self._pages:
-                offset = (pid - first) * page_size
-                self._insert(pid, blob[offset : offset + page_size])
+            if pid in resident:
+                continue
+            shard = self._shard_of(pid)
+            offset = (pid - first) * page_size
+            with shard.lock:
+                evicted += shard.insert(pid, blob[offset : offset + page_size])
+        self.stats.add(
+            misses=cached_misses,
+            bypasses=len(missed) - cached_misses,
+            evictions=evicted,
+        )
         return first, blob
 
     def pin(self, page_id: int) -> bytes:
         """Load a page and exempt it from eviction (the paper's pinned V/Lambda)."""
         data = self.get_page(page_id)
-        self._pinned.add(page_id)
+        shard = self._shard_of(page_id)
+        with shard.lock:
+            shard.pinned.add(page_id)
         return data
 
     def unpin(self, page_id: int) -> None:
         """Allow a previously pinned page to be evicted again."""
-        self._pinned.discard(page_id)
+        shard = self._shard_of(page_id)
+        with shard.lock:
+            shard.pinned.discard(page_id)
 
     def invalidate(self, page_id: int | None = None) -> None:
         """Drop one page (or all pages when ``page_id`` is None) from the cache."""
         if page_id is None:
-            self._pages.clear()
-            self._pinned.clear()
-            self._referenced.clear()
-            self._hand = []
-            self._hand_pos = 0
+            for shard in self._shards:
+                with shard.lock:
+                    shard.clear()
         else:
-            self._pages.pop(page_id, None)
-            self._pinned.discard(page_id)
-            if page_id in self._referenced:
-                del self._referenced[page_id]
-                self._hand = [pid for pid in self._hand if pid != page_id]
-                self._hand_pos = self._hand_pos % max(1, len(self._hand))
+            shard = self._shard_of(page_id)
+            with shard.lock:
+                shard.drop(page_id)
 
     def cached_pages(self) -> int:
-        """Number of pages currently resident."""
-        return len(self._pages)
-
-    def _insert(self, page_id: int, data: bytes) -> None:
-        self._pages[page_id] = data
-        if self.policy == "lru":
-            self._pages.move_to_end(page_id)
-        else:
-            self._referenced[page_id] = True
-            self._hand.append(page_id)
-        while len(self._pages) > self.capacity:
-            evicted = self._evict_one()
-            if evicted is None:
-                # Everything resident is pinned; allow temporary overflow
-                # rather than fail a read.
-                break
-
-    def _evict_one(self) -> int | None:
-        if self.policy == "clock":
-            return self._evict_clock()
-        for candidate in self._pages:
-            if candidate not in self._pinned:
-                del self._pages[candidate]
-                self.stats.evictions += 1
-                return candidate
-        return None
-
-    def _evict_clock(self) -> int | None:
-        """Second-chance sweep: clear reference bits until a victim."""
-        if not self._hand:
-            return None
-        sweeps = 0
-        max_steps = 2 * len(self._hand) + 1
-        while sweeps < max_steps:
-            self._hand_pos %= len(self._hand)
-            candidate = self._hand[self._hand_pos]
-            if candidate in self._pinned:
-                self._hand_pos += 1
-            elif self._referenced.get(candidate, False):
-                self._referenced[candidate] = False
-                self._hand_pos += 1
-            else:
-                self._hand.pop(self._hand_pos)
-                del self._referenced[candidate]
-                del self._pages[candidate]
-                self.stats.evictions += 1
-                return candidate
-            sweeps += 1
-        return None
+        """Number of pages currently resident (summed across shards)."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.pages)
+        return total
 
 
 def read_span(pool: BufferPool, offset: int, length: int) -> bytes:

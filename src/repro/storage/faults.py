@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import errno
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -62,6 +63,12 @@ class FaultPlan:
     writes_seen: int = field(default=0, init=False)
     #: Faults actually injected (reads + writes).
     injected: int = field(default=0, init=False)
+    #: Serializes the attempt counters: the concurrency stress suite runs
+    #: fault plans against multi-threaded readers, and a lost ``+= 1``
+    #: would silently shift which attempt fails.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def matches(self, path: os.PathLike | str) -> bool:
         """Whether this plan applies to ``path``."""
@@ -71,21 +78,25 @@ class FaultPlan:
 
     def begin_read(self) -> None:
         """Account one read attempt; raise if it is scripted to fail."""
-        self.reads_seen += 1
-        if (
-            self.fail_read_at is not None
-            and self.fail_read_at
-            <= self.reads_seen
-            < self.fail_read_at + self.fail_reads
-        ):
-            self.injected += 1
+        with self._lock:
+            self.reads_seen += 1
+            due = (
+                self.fail_read_at is not None
+                and self.fail_read_at
+                <= self.reads_seen
+                < self.fail_read_at + self.fail_reads
+            )
+            if due:
+                self.injected += 1
+        if due:
             raise OSError(self.read_errno, os.strerror(self.read_errno))
 
     def truncate_read(self, data: bytes) -> bytes:
         """Shorten this attempt's first chunk when a short read is due."""
-        if self.short_read_at == self.reads_seen and len(data) > 1:
-            self.injected += 1
-            return data[: len(data) // 2]
+        with self._lock:
+            if self.short_read_at == self.reads_seen and len(data) > 1:
+                self.injected += 1
+                return data[: len(data) // 2]
         return data
 
     def begin_write(self, data: bytes) -> bytes | None:
@@ -95,10 +106,11 @@ class FaultPlan:
         must write before raising ``OSError`` (simulating a crash after
         a partial write reached the platter).
         """
-        self.writes_seen += 1
-        if self.fail_write_at == self.writes_seen:
-            self.injected += 1
-            return data[: self.torn_bytes]
+        with self._lock:
+            self.writes_seen += 1
+            if self.fail_write_at == self.writes_seen:
+                self.injected += 1
+                return data[: self.torn_bytes]
         return None
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -64,6 +65,12 @@ class MatrixStore:
     Instances are created with :meth:`create` (from an in-memory array)
     or :meth:`create_from_rows` (from a row stream, never materializing
     the matrix), then opened with :meth:`open`.
+
+    Reads are thread-safe: the pager uses positionless ``os.pread`` (no
+    shared cursor) and the buffer pool is lock-striped, so any number of
+    threads may call :meth:`row`, :meth:`read_rows`, :meth:`cell`, or
+    run independent :meth:`iter_rows` iterators over disjoint bands
+    concurrently on one open store.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class MatrixStore:
         self._pool = BufferPool(pager, capacity=pool_capacity)
         self._data_offset = pager.page_size
         self._pass_count = 0
+        self._pass_lock = threading.Lock()
 
     # -- construction -----------------------------------------------------
 
@@ -398,6 +406,18 @@ class MatrixStore:
                 yield index + local, block[local].astype(np.float64)
             index += chunk
         if start == 0 and stop == self._rows:
+            self.note_full_scan()
+
+    def note_full_scan(self) -> None:
+        """Count one completed full sequential scan.
+
+        Called by :meth:`iter_rows` when a single iterator covered the
+        whole matrix, and by parallel passes (e.g.
+        :func:`~repro.core.svd.compute_gram` with ``jobs > 1``) whose
+        workers each scanned a disjoint band — collectively one pass
+        over the data, which is what the paper's pass accounting means.
+        """
+        with self._pass_lock:
             self._pass_count += 1
 
     def _read_raw(self, offset: int, length: int) -> bytes:

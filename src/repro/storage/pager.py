@@ -6,7 +6,15 @@ matrix store, compressed model store) go through a pager, so the number
 of 'disk accesses' the paper reasons about is an observable quantity in
 this reproduction.
 
-Physical reads go through one funnel (:meth:`FilePager._pread`) that
+Reads are **lock-free and thread-safe**: every physical read goes
+through one funnel (:meth:`FilePager._pread`) built on ``os.pread``,
+which takes an explicit offset instead of the file description's shared
+seek cursor.  There is no ``seek()`` anywhere on the read path, so
+concurrent readers never race on file position and never pay the extra
+``lseek(2)`` syscall.  Writes go through ``os.pwrite`` (appends compute
+their offset under a small write lock — the only lock the pager owns).
+
+The read funnel also
 
 - resumes short reads instead of zero-padding mid-file gaps (padding is
   correct only at EOF),
@@ -23,8 +31,9 @@ from __future__ import annotations
 
 import errno
 import os
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exceptions import (
@@ -55,6 +64,10 @@ class IOStats:
     actually fires on a workload.  ``retries`` counts transient read
     errors absorbed by the bounded-backoff retry loop; a non-zero value
     on a healthy run means the disk is flaking, not the store.
+
+    Mutation goes through :meth:`add`, which holds a per-struct lock so
+    counts stay exact when many threads read through one pager.  Reads
+    of individual fields are single attribute loads and need no lock.
     """
 
     reads: int = 0
@@ -64,28 +77,53 @@ class IOStats:
     coalesced_reads: int = 0
     gap_pages: int = 0
     retries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        reads: int = 0,
+        writes: int = 0,
+        bytes_read: int = 0,
+        bytes_written: int = 0,
+        coalesced_reads: int = 0,
+        gap_pages: int = 0,
+        retries: int = 0,
+    ) -> None:
+        """Atomically bump any subset of the counters."""
+        with self._lock:
+            self.reads += reads
+            self.writes += writes
+            self.bytes_read += bytes_read
+            self.bytes_written += bytes_written
+            self.coalesced_reads += coalesced_reads
+            self.gap_pages += gap_pages
+            self.retries += retries
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.reads = 0
-        self.writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.coalesced_reads = 0
-        self.gap_pages = 0
-        self.retries = 0
+        with self._lock:
+            self.reads = 0
+            self.writes = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.coalesced_reads = 0
+            self.gap_pages = 0
+            self.retries = 0
 
     def snapshot(self) -> "IOStats":
         """A copy of the current counters."""
-        return IOStats(
-            self.reads,
-            self.writes,
-            self.bytes_read,
-            self.bytes_written,
-            self.coalesced_reads,
-            self.gap_pages,
-            self.retries,
-        )
+        with self._lock:
+            return IOStats(
+                self.reads,
+                self.writes,
+                self.bytes_read,
+                self.bytes_written,
+                self.coalesced_reads,
+                self.gap_pages,
+                self.retries,
+            )
 
     def to_dict(self) -> dict:
         """Counters as a JSON-ready dict (registry export format)."""
@@ -108,6 +146,13 @@ class FilePager:
     exactly ``n`` pages appends (sequential growth only, which is all
     the row-major stores need).
 
+    Reads never mutate pager state other than the (locked) counters, so
+    any number of threads may call :meth:`read_page` /
+    :meth:`read_pages` / :meth:`read_page_span` concurrently on one
+    instance.  Writes are serialized by :attr:`_write_lock`; the stores
+    only write during (single-threaded) construction, but the lock makes
+    mixed use safe rather than silently corrupting appends.
+
     Args:
         path: backing file.  Created if missing when ``create=True``.
         page_size: page size in bytes.
@@ -125,11 +170,14 @@ class FilePager:
         self.path = Path(path)
         self.page_size = page_size
         self.stats = IOStats()
-        mode = "w+b" if create else "r+b"
         if not create and not self.path.exists():
             raise PageError(f"no such file: {self.path}")
-        self._file = open(self.path, mode)
+        flags = os.O_RDWR | (os.O_CREAT | os.O_TRUNC if create else 0)
+        if hasattr(os, "O_CLOEXEC"):
+            flags |= os.O_CLOEXEC
+        self._fd = os.open(self.path, flags, 0o644)
         self._closed = False
+        self._write_lock = threading.Lock()
         # Export the counters through the process-wide registry; the
         # weak registration dies with the pager.
         _obs.register_source("pagers", self.path.name, self.stats)
@@ -142,10 +190,9 @@ class FilePager:
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Flush and close the underlying file (idempotent)."""
+        """Close the underlying file descriptor (idempotent)."""
         if not self._closed:
-            self._file.flush()
-            self._file.close()
+            os.close(self._fd)
             self._closed = True
 
     def __enter__(self) -> "FilePager":
@@ -163,9 +210,9 @@ class FilePager:
     def num_pages(self) -> int:
         """Number of whole or partial pages currently in the file."""
         self._require_open()
-        # Flush Python's write buffer so fstat sees all written bytes.
-        self._file.flush()
-        size = os.fstat(self._file.fileno()).st_size
+        # pwrite hits the fd directly (no userspace buffer), so fstat
+        # always sees every written byte.
+        size = os.fstat(self._fd).st_size
         return (size + self.page_size - 1) // self.page_size
 
     # -- physical I/O funnels ---------------------------------------------
@@ -173,12 +220,14 @@ class FilePager:
     def _pread(self, offset: int, length: int) -> bytes:
         """Read up to ``length`` bytes at ``offset``, surviving faults.
 
-        Short reads are resumed until ``length`` bytes arrive or EOF is
-        reached (only EOF may return fewer bytes, so callers'
-        zero-padding is always padding real end-of-file, never a gap a
-        flaky ``read(2)`` left mid-file).  Transient ``OSError`` is
-        retried with exponential backoff; persistent failure raises
-        :class:`RetryExhaustedError`.
+        Built on positionless ``os.pread``: no shared seek cursor is
+        read or written, so concurrent callers cannot interleave each
+        other's positions and no lock is taken.  Short reads are resumed
+        until ``length`` bytes arrive or EOF is reached (only EOF may
+        return fewer bytes, so callers' zero-padding is always padding
+        real end-of-file, never a gap a flaky ``read(2)`` left
+        mid-file).  Transient ``OSError`` is retried with exponential
+        backoff; persistent failure raises :class:`RetryExhaustedError`.
         """
         plan = _faults.plan_for(self.path)
         attempt = 0
@@ -190,11 +239,11 @@ class FilePager:
                 got = 0
                 first = True
                 while got < length:
-                    # Re-seek every iteration: a truncated chunk must
-                    # resume at offset+got, not wherever read(2) left
-                    # the cursor.
-                    self._file.seek(offset + got)
-                    data = self._file.read(length - got)
+                    # Each resumption addresses offset+got explicitly —
+                    # the positionless read makes "resume where the
+                    # truncated chunk stopped" a pure arithmetic fact
+                    # instead of cursor bookkeeping.
+                    data = os.pread(self._fd, length - got, offset + got)
                     if first and plan is not None and data:
                         data = plan.truncate_read(data)
                     first = False
@@ -212,32 +261,39 @@ class FilePager:
                         f"{self.path}: read at offset {offset} still failing "
                         f"after {self._RETRY_ATTEMPTS} retries: {exc}"
                     ) from exc
-                self.stats.retries += 1
+                self.stats.add(retries=1)
                 _obs.counter("pager.retries").inc()
                 time.sleep(self._RETRY_BASE_DELAY * 2 ** (attempt - 1))
 
     def _pwrite(self, offset: int | None, data: bytes) -> None:
         """Write ``data`` at ``offset`` (or append when ``None``).
 
-        Write errors are *not* retried: the durable-save protocols
-        (temp file + rename, staging directory + swap) already
-        guarantee a failed write never corrupts the committed artifact,
-        so masking a sick disk here would only delay the diagnosis.
+        Serialized by the write lock: an append's offset is the file
+        size *at the moment of the write*, which is only stable while no
+        other write is in flight.  Write errors are *not* retried: the
+        durable-save protocols (temp file + rename, staging directory +
+        swap) already guarantee a failed write never corrupts the
+        committed artifact, so masking a sick disk here would only delay
+        the diagnosis.
         """
-        if offset is None:
-            self._file.seek(0, os.SEEK_END)
-        else:
-            self._file.seek(offset)
-        plan = _faults.plan_for(self.path)
-        if plan is not None:
-            torn = plan.begin_write(data)
-            if torn is not None:
-                self._file.write(torn)
-                self._file.flush()
-                raise OSError(errno.EIO, "injected torn write")
-        self._file.write(data)
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
+        with self._write_lock:
+            if offset is None:
+                offset = os.fstat(self._fd).st_size
+            plan = _faults.plan_for(self.path)
+            if plan is not None:
+                torn = plan.begin_write(data)
+                if torn is not None:
+                    self._pwrite_all(offset, torn)
+                    raise OSError(errno.EIO, "injected torn write")
+            self._pwrite_all(offset, data)
+            self.stats.add(writes=1, bytes_written=len(data))
+
+    def _pwrite_all(self, offset: int, data: bytes) -> None:
+        """``os.pwrite`` resuming partial writes until ``data`` is flushed."""
+        view = memoryview(data)
+        written = 0
+        while written < len(view):
+            written += os.pwrite(self._fd, view[written:], offset + written)
 
     # -- page I/O -----------------------------------------------------------
 
@@ -249,22 +305,21 @@ class FilePager:
                 f"page {page_id} out of range [0, {self.num_pages()}) in {self.path}"
             )
         data = self._pread(page_id * self.page_size, self.page_size)
-        self.stats.reads += 1
-        self.stats.bytes_read += len(data)
+        self.stats.add(reads=1, bytes_read=len(data))
         if len(data) < self.page_size:
             data = data + b"\x00" * (self.page_size - len(data))
         return data
 
     #: Maximum gap (in pages) bridged when coalescing a batch read into
     #: one sequential I/O.  Reading a few unrequested pages in the middle
-    #: of a run is far cheaper than an extra seek + read round-trip.
+    #: of a run is far cheaper than an extra read round-trip.
     _COALESCE_GAP = 16
 
     def read_pages(self, page_ids) -> dict[int, bytes]:
         """Read a batch of pages, coalescing near-contiguous runs.
 
         Sorted requested pages whose gaps do not exceed
-        ``_COALESCE_GAP`` are fetched with a single ``seek`` + ``read``
+        ``_COALESCE_GAP`` are fetched with a single positioned read
         spanning the run (gap pages are read and discarded); each run
         counts as one I/O in :attr:`stats`.  Returns ``page_id ->
         bytes`` with every page zero-padded to ``page_size``.
@@ -291,12 +346,14 @@ class FilePager:
             first = ids[position]
             span = ids[end] - first + 1
             blob = self._pread(first * self.page_size, span * self.page_size)
-            self.stats.reads += 1
-            self.stats.bytes_read += len(blob)
             requested = end - position + 1
-            if requested > 1:
-                self.stats.coalesced_reads += 1
-                self.stats.gap_pages += span - requested
+            coalesced = 1 if requested > 1 else 0
+            self.stats.add(
+                reads=1,
+                bytes_read=len(blob),
+                coalesced_reads=coalesced,
+                gap_pages=(span - requested) if coalesced else 0,
+            )
             if len(blob) < span * self.page_size:
                 blob = blob + b"\x00" * (span * self.page_size - len(blob))
             for index in range(position, end + 1):
@@ -308,8 +365,8 @@ class FilePager:
     def read_page_span(self, first: int, last: int) -> bytes:
         """Pages ``first..last`` inclusive as one contiguous buffer.
 
-        One ``seek`` + one ``read``; the tail is zero-padded so the
-        result is always ``(last - first + 1) * page_size`` bytes.
+        One positioned read; the tail is zero-padded so the result is
+        always ``(last - first + 1) * page_size`` bytes.
         """
         self._require_open()
         total = self.num_pages()
@@ -320,12 +377,13 @@ class FilePager:
             )
         length = (last - first + 1) * self.page_size
         blob = self._pread(first * self.page_size, length)
-        self.stats.reads += 1
-        self.stats.bytes_read += len(blob)
-        if last > first:
-            # The span read is itself a coalesced I/O; gap accounting
-            # lives with the caller, which knows the requested subset.
-            self.stats.coalesced_reads += 1
+        # The span read is itself a coalesced I/O; gap accounting
+        # lives with the caller, which knows the requested subset.
+        self.stats.add(
+            reads=1,
+            bytes_read=len(blob),
+            coalesced_reads=1 if last > first else 0,
+        )
         if len(blob) < length:
             blob = blob + b"\x00" * (length - len(blob))
         return blob
@@ -351,12 +409,10 @@ class FilePager:
         self._pwrite(None, data)
 
     def flush(self) -> None:
-        """Flush buffered writes to the OS."""
+        """No-op kept for API compatibility: fd writes are unbuffered."""
         self._require_open()
-        self._file.flush()
 
     def sync(self) -> None:
-        """Flush and ``fsync`` — the data is on stable storage on return."""
+        """``fsync`` — the data is on stable storage on return."""
         self._require_open()
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        os.fsync(self._fd)

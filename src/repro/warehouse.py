@@ -178,6 +178,27 @@ class Warehouse:
             self.root / name / "model", pool_capacity, on_corrupt=on_corrupt
         )
 
+    def executor(
+        self,
+        name: str,
+        max_workers: int | None = None,
+        pool_capacity: int = 64,
+        on_corrupt: str = "raise",
+    ):
+        """Open a dataset behind a :class:`~repro.query.executor.QueryExecutor`.
+
+        The convenience entry point for concurrent serving: opens the
+        model and hands ownership to the pool, so closing the executor
+        (or leaving its ``with`` block) closes the model too::
+
+            with warehouse.executor("sales", max_workers=4) as pool:
+                report = pool.run_batch(queries)
+        """
+        from repro.query.executor import QueryExecutor
+
+        backend = self.open(name, pool_capacity, on_corrupt=on_corrupt)
+        return QueryExecutor(backend, max_workers=max_workers, close_backend=True)
+
     def fsck(self, name: str, deep: bool = True):
         """Integrity-check one dataset's model directory."""
         from repro.storage.integrity import verify_manifest

@@ -36,6 +36,81 @@ class TestMetricTypes:
         assert empty["min"] is None and empty["max"] is None
         assert empty["mean"] == 0.0
 
+    def test_gauge_add_is_atomic_delta(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        assert gauge.add(2.5) == 12.5
+        assert gauge.add(-5.0) == 7.5
+        assert gauge.value == 7.5
+
+
+class TestThreadSafety:
+    """The registry is shared by executor workers; increments must not
+    be lost to read-modify-write races."""
+
+    THREADS = 8
+    INCREMENTS = 2_000
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+
+        def body():
+            barrier.wait()
+            for _ in range(self.INCREMENTS):
+                work()
+
+        threads = [threading.Thread(target=body) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_inc_from_threads_exact_total(self):
+        counter = Counter()
+        self._hammer(lambda: counter.inc())
+        assert counter.value == self.THREADS * self.INCREMENTS
+
+    def test_gauge_add_from_threads_balances_to_zero(self):
+        gauge = Gauge()
+
+        def up_down():
+            gauge.add(1.0)
+            gauge.add(-1.0)
+
+        self._hammer(up_down)
+        assert gauge.value == 0.0
+
+    def test_histogram_observe_from_threads_exact_count(self):
+        histogram = Histogram()
+        self._hammer(lambda: histogram.observe(1.0))
+        expected = self.THREADS * self.INCREMENTS
+        assert histogram.count == expected
+        assert histogram.total == float(expected)
+
+    def test_snapshot_during_metric_creation(self):
+        import threading
+
+        registry = MetricsRegistry(enabled=True)
+        stop = threading.Event()
+
+        def churn():
+            index = 0
+            while not stop.is_set():
+                registry.counter(f"churn.{index % 64}").inc()
+                index += 1
+
+        worker = threading.Thread(target=churn)
+        worker.start()
+        try:
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                assert "counters" in snapshot
+        finally:
+            stop.set()
+            worker.join()
+
 
 class TestRegistry:
     def test_disabled_by_default(self):

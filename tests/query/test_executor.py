@@ -1,0 +1,174 @@
+"""Tests for the concurrent query executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_compressed
+from repro.exceptions import QueryError
+from repro.query import (
+    AggregateQuery,
+    CellQuery,
+    QueryEngine,
+    QueryExecutor,
+    Selection,
+)
+
+
+@pytest.fixture(scope="module")
+def data(rng):
+    u = rng.standard_normal((120, 4))
+    v = rng.standard_normal((4, 40))
+    return u @ v
+
+
+@pytest.fixture(scope="module")
+def model(data, tmp_path_factory):
+    store = build_compressed(data, tmp_path_factory.mktemp("exec") / "model")
+    yield store
+    store.close()
+
+
+def _mixed_queries(shape, count=24, seed=7):
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    queries = []
+    for index in range(count):
+        if index % 3 == 0:
+            r0, r1 = sorted(rng.integers(0, rows, size=2).tolist())
+            c0, c1 = sorted(rng.integers(0, cols, size=2).tolist())
+            function = ("sum", "avg", "count", "min")[index % 4]
+            queries.append(
+                AggregateQuery(
+                    function,
+                    Selection(rows=range(r0, r1 + 1), cols=range(c0, c1 + 1)),
+                )
+            )
+        elif index % 3 == 1:
+            queries.append(
+                CellQuery(int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+            )
+        else:
+            queries.append((int(rng.integers(0, rows)), int(rng.integers(0, cols))))
+    return queries
+
+
+class TestDispatch:
+    def test_submit_cell(self, model):
+        expected = QueryEngine(model).cell(CellQuery(3, 5)).value
+        with QueryExecutor(model, max_workers=2) as pool:
+            result = pool.submit(CellQuery(3, 5)).result()
+        assert result.value == expected
+
+    def test_tuple_and_text_forms(self, model):
+        with QueryExecutor(model, max_workers=2) as pool:
+            from_tuple = pool.submit((2, 4)).result()
+            from_text = pool.submit("cell(2, 4)").result()
+        assert from_tuple.value == pytest.approx(from_text.value)
+
+    def test_aggregate_text(self, model):
+        from repro.query import parse_query
+
+        expected = QueryEngine(model).aggregate(
+            parse_query("sum() rows 0:50 cols 0:20")
+        ).value
+        with QueryExecutor(model, max_workers=2) as pool:
+            result = pool.submit("sum() rows 0:50 cols 0:20").result()
+        assert result.value == expected
+
+    def test_bad_form_rejected(self, model):
+        with QueryExecutor(model, max_workers=1) as pool:
+            with pytest.raises(QueryError):
+                pool.submit({"not": "a query"})
+
+    def test_bad_worker_count_rejected(self, model):
+        with pytest.raises(ValueError):
+            QueryExecutor(model, max_workers=0)
+
+    def test_submit_after_shutdown_rejected(self, model):
+        pool = QueryExecutor(model, max_workers=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(CellQuery(0, 0))
+
+
+class TestParallelAgreement:
+    """Concurrent answers must be identical to single-threaded ones."""
+
+    def test_map_matches_sequential_engine(self, model):
+        queries = _mixed_queries(model.shape)
+        engine = QueryEngine(model)
+        expected = []
+        for query in queries:
+            if isinstance(query, AggregateQuery):
+                expected.append(engine.aggregate(query).value)
+            else:
+                expected.append(engine.cell(query if isinstance(query, CellQuery) else CellQuery(*query)).value)
+        with QueryExecutor(model, max_workers=4) as pool:
+            results = pool.map(queries)
+        assert [r.value for r in results] == expected
+
+    def test_map_preserves_order(self, model):
+        queries = [(i % model.shape[0], i % model.shape[1]) for i in range(16)]
+        single = QueryExecutor(model, max_workers=1)
+        multi = QueryExecutor(model, max_workers=4)
+        try:
+            assert [r.value for r in multi.map(queries)] == [
+                r.value for r in single.map(queries)
+            ]
+        finally:
+            single.shutdown()
+            multi.shutdown()
+
+    def test_failing_query_surfaces_without_poisoning_pool(self, model):
+        with QueryExecutor(model, max_workers=2) as pool:
+            bad = pool.submit(CellQuery(10**9, 0))
+            good = pool.submit(CellQuery(0, 0))
+            with pytest.raises(QueryError):
+                bad.result()
+            assert good.result().cells_touched == 1
+
+
+class TestBatchReport:
+    def test_run_batch_accounting(self, model):
+        queries = _mixed_queries(model.shape, count=12)
+        with QueryExecutor(model, max_workers=2) as pool:
+            report = pool.run_batch(queries)
+        assert report.queries == 12
+        assert len(report.results) == 12
+        assert report.workers == 2
+        assert report.wall_s > 0
+        assert report.throughput_qps > 0
+
+    def test_profiles_preserved_per_query(self, model, enabled_registry):
+        with QueryExecutor(model, max_workers=4) as pool:
+            results = pool.map(_mixed_queries(model.shape, count=9))
+        assert all(r.profile is not None for r in results)
+        paths = {r.profile.path for r in results}
+        assert paths <= {"cell", "factor", "stream"}
+
+    def test_concurrency_gauge_settles_to_zero(self, model, enabled_registry):
+        with QueryExecutor(model, max_workers=4) as pool:
+            pool.map(_mixed_queries(model.shape, count=16))
+        snapshot = enabled_registry.snapshot()
+        assert snapshot["gauges"]["executor.concurrency"] == 0.0
+        assert snapshot["gauges"]["executor.workers"] == 4.0
+        assert snapshot["counters"]["executor.queries"] == 16
+
+
+class TestWarehouseIntegration:
+    def test_warehouse_executor_owns_model(self, data, tmp_path):
+        from repro.warehouse import Warehouse
+
+        warehouse = Warehouse(tmp_path)
+        warehouse.ingest("sales", data, keep_raw=False, verify=False)
+        with warehouse.executor("sales", max_workers=2) as pool:
+            result = pool.submit("sum() rows 0:10 cols 0:10").result()
+            backend = pool._backend
+        assert result.cells_touched == 100
+        # Ownership: leaving the with-block closed the model's page file.
+        import os
+
+        with pytest.raises(OSError):
+            os.fstat(backend._u_store._pager._fd)

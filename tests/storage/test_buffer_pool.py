@@ -279,3 +279,123 @@ class TestClockPolicy:
                 pool.get_page(int(page_id))
             rates[policy] = pool.stats.hit_rate
         assert rates["clock"] > rates["lru"] - 0.10
+
+
+class TestSharding:
+    """Lock striping: shard selection, capacity split, concurrent use."""
+
+    def _big_pager(self, tmp_path, pages=64):
+        pager = FilePager(tmp_path / "big.pg", page_size=128, create=True)
+        for page_id in range(pages):
+            pager.write_page(page_id, bytes([page_id % 251]) * 128)
+        return pager
+
+    def test_small_pools_stay_single_shard(self, pager):
+        # Historical exact-LRU semantics depend on one shard; small
+        # capacities must not silently stripe.
+        assert BufferPool(pager, capacity=16).num_shards == 1
+
+    def test_large_pools_stripe_automatically(self, tmp_path):
+        pager = self._big_pager(tmp_path)
+        try:
+            assert BufferPool(pager, capacity=64).num_shards > 1
+        finally:
+            pager.close()
+
+    def test_explicit_shard_count(self, tmp_path):
+        pager = self._big_pager(tmp_path)
+        try:
+            pool = BufferPool(pager, capacity=64, shards=4)
+            assert pool.num_shards == 4
+            with pytest.raises(ConfigurationError):
+                BufferPool(pager, capacity=4, shards=8)
+            with pytest.raises(ConfigurationError):
+                BufferPool(pager, capacity=4, shards=0)
+        finally:
+            pager.close()
+
+    def test_shard_capacities_sum_to_total(self, tmp_path):
+        pager = self._big_pager(tmp_path)
+        try:
+            pool = BufferPool(pager, capacity=63, shards=4)
+            assert sum(s.capacity for s in pool._shards) == 63
+            for page_id in range(64):
+                pool.get_page(page_id)
+            assert pool.cached_pages() <= 63
+        finally:
+            pager.close()
+
+    def test_sharded_pool_serves_correct_bytes(self, tmp_path):
+        pager = self._big_pager(tmp_path)
+        try:
+            pool = BufferPool(pager, capacity=64, shards=4)
+            for page_id in (0, 1, 4, 5, 63, 17):
+                assert pool.get_page(page_id) == bytes([page_id % 251]) * 128
+                # Second access is a hit with the same bytes.
+                assert pool.get_page(page_id) == bytes([page_id % 251]) * 128
+        finally:
+            pager.close()
+
+    def test_concurrent_readers_agree(self, tmp_path):
+        import threading
+
+        pager = self._big_pager(tmp_path)
+        try:
+            pool = BufferPool(pager, capacity=32, shards=4)
+            barrier = threading.Barrier(8)
+            errors = []
+
+            def body(seed):
+                import random
+
+                rng = random.Random(seed)
+                barrier.wait()
+                for _ in range(300):
+                    page_id = rng.randrange(64)
+                    got = pool.get_page(page_id)
+                    if got != bytes([page_id % 251]) * 128:
+                        errors.append(page_id)
+
+            threads = [
+                threading.Thread(target=body, args=(seed,)) for seed in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert pool.cached_pages() <= 32
+            stats = pool.stats
+            assert stats.hits + stats.misses == 8 * 300
+        finally:
+            pager.close()
+
+    def test_concurrent_batch_reads(self, tmp_path):
+        import threading
+
+        pager = self._big_pager(tmp_path)
+        try:
+            pool = BufferPool(pager, capacity=48, shards=4)
+            barrier = threading.Barrier(4)
+            errors = []
+
+            def body(offset):
+                barrier.wait()
+                for start in range(0, 48, 4):
+                    ids = [(start + offset + delta) % 64 for delta in range(6)]
+                    pages = pool.get_pages(ids)
+                    for page_id in ids:
+                        if pages[page_id] != bytes([page_id % 251]) * 128:
+                            errors.append(page_id)
+
+            threads = [
+                threading.Thread(target=body, args=(offset,))
+                for offset in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+        finally:
+            pager.close()
