@@ -1,0 +1,110 @@
+"""Incremental maintenance cost: appending days vs rebuilding from scratch.
+
+The paper's warehouse setting accumulates a new day of data per
+customer every day; rebuilding the whole model nightly would dwarf the
+query savings.  This bench builds the scale-up model (20,000 x 366),
+folds in one week of new days with :func:`repro.core.update.append_columns`,
+and compares that against a full rebuild over the extended matrix —
+asserting the append costs a small fraction of the rebuild and gives up
+almost nothing in accuracy.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit, emit_json, format_table
+from repro.core import CompressedMatrix, build_compressed
+from repro.core.update import append_columns, load_update_state
+from repro.data import phone_matrix
+from repro.metrics import rmspe
+
+ROWS = 20_000
+BASE_COLS = 366
+NEW_DAYS = 7
+BUDGET = 0.10
+
+
+def _model_rmspe(directory, data) -> float:
+    with CompressedMatrix.open(directory) as store:
+        return rmspe(data, store.reconstruct_all())
+
+
+def test_append_vs_rebuild(tmp_path_factory, benchmark):
+    root = tmp_path_factory.mktemp("append")
+    rng = np.random.default_rng(17)
+    base = phone_matrix(ROWS)
+    new_days = base[:, :NEW_DAYS] * (
+        1.0 + 0.05 * rng.standard_normal((ROWS, NEW_DAYS))
+    )
+    full = np.hstack([base, new_days])
+
+    start = time.perf_counter()
+    build_compressed(base, root / "model", BUDGET).close()
+    build_seconds = time.perf_counter() - start
+
+    appended_dir = root / "appended"
+    shutil.copytree(root / "model", appended_dir)
+    start = time.perf_counter()
+    result = append_columns(appended_dir, new_days)
+    append_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    build_compressed(full, root / "rebuilt", BUDGET).close()
+    rebuild_seconds = time.perf_counter() - start
+
+    append_rmspe = _model_rmspe(appended_dir, full)
+    rebuild_rmspe = _model_rmspe(root / "rebuilt", full)
+    state = load_update_state(appended_dir)
+
+    rows = [
+        ["append 7 days", f"{append_seconds:.2f}", f"{append_rmspe:.4f}"],
+        ["full rebuild", f"{rebuild_seconds:.2f}", f"{rebuild_rmspe:.4f}"],
+    ]
+    lines = format_table(
+        f"Incremental append vs rebuild on phone{ROWS} "
+        f"({BASE_COLS}+{NEW_DAYS} days, s={BUDGET:.0%})",
+        ["path", "seconds", "RMSPE"],
+        rows,
+    )
+    lines.append(
+        f"append / rebuild wall: {append_seconds / rebuild_seconds:.1%}  "
+        f"drift: {state['drift']:.5f}"
+    )
+    emit("append", lines)
+    emit_json(
+        "append",
+        params={
+            "rows": ROWS,
+            "base_cols": BASE_COLS,
+            "new_days": NEW_DAYS,
+            "budget_fraction": BUDGET,
+        },
+        metrics={
+            "build_seconds": build_seconds,
+            "append_seconds": append_seconds,
+            "rebuild_seconds": rebuild_seconds,
+            "append_rmspe": append_rmspe,
+            "rebuild_rmspe": rebuild_rmspe,
+            "drift": state["drift"],
+            "rebuild_recommended": state["rebuild_recommended"],
+        },
+    )
+
+    # The acceptance bar: folding a week in costs a small fraction of a
+    # rebuild and stays within 1.5x of the fresh model's accuracy.
+    assert append_seconds < 0.25 * rebuild_seconds
+    assert append_rmspe <= 1.5 * rebuild_rmspe
+
+    def one_append() -> None:
+        target = root / "bench_copy"
+        if target.exists():
+            shutil.rmtree(target)
+        shutil.copytree(root / "model", target)
+        append_columns(target, new_days)
+
+    benchmark.pedantic(one_append, rounds=1, iterations=1)
+    assert result.cols == BASE_COLS + NEW_DAYS

@@ -4,7 +4,10 @@ Gives the library the operational surface a deployed system would have:
 
 - ``build``   — compress an on-disk matrix (or a named dataset) into a
   CompressedMatrix directory;
-- ``info``    — inspect a compressed model (shape, k, deltas, space);
+- ``info``    — inspect a compressed model (shape, k, deltas, space,
+  append/drift state);
+- ``append``  — fold new days (``--cols``) or customers (``--rows``)
+  into an existing model crash-atomically, without a rebuild;
 - ``cell``    — reconstruct one cell, reporting the disk accesses used;
 - ``aggregate`` — run an aggregate query over row/column ranges;
 - ``query``   — run a textual query ('avg() rows 0:100 cols 7:14');
@@ -101,6 +104,9 @@ def cmd_build(args) -> int:
 
 def cmd_info(args) -> int:
     """Handle ``repro info``: print a model's catalog facts."""
+    from repro.exceptions import FormatError
+    from repro.core.update import load_update_state
+
     with CompressedMatrix.open(args.model) as store:
         rows, cols = store.shape
         print(f"model: {Path(args.model).resolve()}")
@@ -110,6 +116,50 @@ def cmd_info(args) -> int:
         print(f"  flagged zero rows: {store.num_zero_rows}")
         print(f"  model bytes (Eq. 9 accounting): {store.space_bytes()}")
         print(f"  space fraction: {store.space_bytes() / (rows * cols * 8):.2%}")
+    try:
+        state = load_update_state(args.model)
+    except FormatError:
+        print("  incremental updates: unavailable (no update state)")
+        return 0
+    print(
+        f"  appends: {state.get('appends', 0)} "
+        f"(+{state.get('rows_appended', 0)} rows, "
+        f"+{state.get('cols_appended', 0)} cols)"
+    )
+    print(
+        f"  drift: {state.get('drift', 0.0):.4f} "
+        f"(threshold {state.get('drift_threshold', 0.0):.2f}, "
+        f"rebuild recommended: {state.get('rebuild_recommended', False)})"
+    )
+    return 0
+
+
+def cmd_append(args) -> int:
+    """Handle ``repro append``: fold new days/customers into a model.
+
+    Exactly one of ``--cols``/``--rows`` names a ``.npy`` array: new
+    columns are ``(N, d)`` (one value per existing customer per new
+    day), new rows are ``(n, M)`` (one full history per new customer).
+    The append is crash-atomic; readers holding the model open keep
+    their pre-append snapshot until they reopen.
+    """
+    from repro.core.update import append_columns, append_rows
+
+    if args.cols:
+        payload = np.load(args.cols)
+        result = append_columns(args.model, payload)
+    else:
+        payload = np.load(args.rows)
+        result = append_rows(args.model, payload)
+    print(
+        f"appended {result.appended} {result.kind} to {args.model}: now "
+        f"{result.rows} x {result.cols}, {result.num_deltas} deltas "
+        f"({result.seconds:.2f}s)"
+    )
+    print(
+        f"drift: {result.drift:.4f}  "
+        f"rebuild recommended: {result.rebuild_recommended}"
+    )
     return 0
 
 
@@ -357,6 +407,19 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="inspect a compressed model")
     info.add_argument("model", help="model directory")
     info.set_defaults(func=cmd_info)
+
+    append = sub.add_parser(
+        "append", help="append new days/customers to a model without a rebuild"
+    )
+    append.add_argument("model", help="model directory")
+    agroup = append.add_mutually_exclusive_group(required=True)
+    agroup.add_argument(
+        "--cols", help=".npy with (rows, d) new day columns to append"
+    )
+    agroup.add_argument(
+        "--rows", help=".npy with (n, cols) new customer rows to append"
+    )
+    append.set_defaults(func=cmd_append)
 
     cell = sub.add_parser("cell", help="reconstruct one cell")
     cell.add_argument("model", help="model directory")

@@ -9,7 +9,13 @@
 - :class:`CompressedMatrix` — the persistent, disk-resident form with
   the paper's one-disk-access physical layout;
 - :mod:`repro.core.space` — the Eq. 9 space accounting shared by all
-  methods.
+  methods;
+- :mod:`repro.core.update` — incremental maintenance of a persistent
+  model: :func:`append_columns` (new days) and
+  :func:`repro.core.update.append_rows` (new customers) fold data in
+  without a rebuild.  The latter is reachable only via its module path
+  because :mod:`repro.core.streaming` already exports an in-memory
+  ``append_rows`` here.
 """
 
 from repro.core.build import build_compressed, estimate_build_memory
@@ -17,6 +23,7 @@ from repro.core.delta_index import DeltaIndex
 from repro.core.model import SVDDModel, SVDModel, cell_key
 from repro.core.robust import RobustSVDCompressor, RobustSVDDCompressor
 from repro.core.streaming import append_rows, project_rows, subspace_residual
+from repro.core.update import AppendResult, append_columns, load_update_state
 from repro.core.updates import BatchUpdater
 from repro.core.verify import VerificationReport, verify_model
 from repro.core.space import (
@@ -40,6 +47,7 @@ from repro.core.svd import (
 from repro.core.svdd import NaiveSVDDCompressor, SVDDCompressor
 
 __all__ = [
+    "AppendResult",
     "BYTES_PER_VALUE",
     "BatchUpdater",
     "RobustSVDCompressor",
@@ -53,9 +61,11 @@ __all__ = [
     "SVDDModel",
     "SVDModel",
     "VerificationReport",
+    "append_columns",
     "append_rows",
     "build_compressed",
     "estimate_build_memory",
+    "load_update_state",
     "verify_model",
     "cell_key",
     "project_rows",

@@ -6,13 +6,18 @@ to millions of rows, but the truly-out-of-core path the paper's setting
 implies should never materialize anything O(N).  :func:`build_compressed`
 is that path:
 
-1. pass 1-2 of the SVDD algorithm run as usual (their state is O(M^2)
-   plus the delta queues, independent of N);
+1. pass 1-2 of the SVDD algorithm run through
+   :meth:`~repro.core.svdd.SVDDCompressor.select_cutoff` — the *same*
+   code path ``fit`` uses, so the two entry points cannot diverge on
+   ``k_opt`` or the delta set (their state is O(M^2) plus the delta
+   queues, independent of N);
 2. pass 3 streams ``U`` rows *directly into the destination page file*
    via :func:`~repro.core.svd.compute_u_to_store` — padded to one row
    per page, in the requested precision;
 3. ``V``, the eigenvalues, the deltas and the metadata are written
-   beside it.
+   beside it, along with the pass-1 state (``gram.npy`` +
+   ``update_state.json``) that lets :mod:`repro.core.update` append new
+   days or customers later without rescanning the original data.
 
 Peak memory is O(M^2 + gamma), regardless of N.
 """
@@ -32,12 +37,19 @@ from repro.obs.registry import registry as _obs
 from repro.obs.tracing import span as _span
 from repro.core.store import CompressedMatrix, _u_columns, _u_page_size
 from repro.core.svd import compute_u_to_store, source_shape
-from repro.core.svdd import SVDDCompressor
+from repro.core.svdd import SVDDCompressor, _record_pass
 from repro.exceptions import FormatError
 from repro.storage.atomic import staged_directory
 from repro.storage.delta_file import DeltaFile
 from repro.storage.integrity import write_manifest
 from repro.storage.matrix_store import MatrixStore
+
+#: Name of the persisted pass-1 Gram matrix in a model directory.
+GRAM_NAME = "gram.npy"
+#: Name of the incremental-maintenance bookkeeping file.
+UPDATE_STATE_NAME = "update_state.json"
+#: Advisory drift level at which appends flag ``rebuild_recommended``.
+DRIFT_THRESHOLD_DEFAULT = 0.10
 
 
 def build_compressed(
@@ -58,7 +70,10 @@ def build_compressed(
         source: the data (on-disk store or ndarray).
         directory: destination model directory.
         budget_fraction: SVDD budget (ignored when ``compressor`` given).
-        bytes_per_value: factor precision on disk (8 or 4).
+        bytes_per_value: factor precision on disk (8 or 4).  The
+            default compressor's space accounting uses the same 'b', so
+            a float32 build budgets against 12-byte delta records and
+            float32 factors — what actually lands on disk.
         compressor: optional pre-configured :class:`SVDDCompressor`.
         jobs: worker threads for the parallel passes.  ``> 1``
             parallelizes pass 1 (banded Gram accumulation) and overlaps
@@ -69,49 +84,22 @@ def build_compressed(
         raise FormatError(f"bytes_per_value must be 4 or 8, got {bytes_per_value}")
     if jobs < 1:
         raise FormatError(f"jobs must be >= 1, got {jobs}")
-    factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
     directory = Path(directory)
-    fitter = compressor or SVDDCompressor(budget_fraction=budget_fraction)
+    fitter = compressor or SVDDCompressor(
+        budget_fraction=budget_fraction, bytes_per_value=bytes_per_value
+    )
+    # The on-disk precision must match the compressor's space accounting
+    # (a 'b'=4 budget assumes float32 factors and 12-byte delta records
+    # actually land on disk), so an explicit compressor wins.
+    bytes_per_value = int(getattr(fitter, "bytes_per_value", bytes_per_value))
+    factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
 
-    from repro.core.svd import _row_chunks, compute_gram, spectrum_from_gram
-    from repro.structures.topk import TopKBuffer
+    from repro.core.svd import _row_chunks
 
     num_rows, num_cols = source_shape(source)
-    k_max = fitter._candidate_cutoffs(num_rows, num_cols)
-    pass1_start = time.perf_counter()
-    with _span("build.pass1", rows=num_rows, cols=num_cols):
-        gram = compute_gram(source, jobs=jobs)
-        singular, v = spectrum_from_gram(gram, k_max, fitter.eigensolver)
-    _record_pass(1, pass1_start, num_rows)
-    k_max = singular.shape[0]
-    gammas = [fitter._gamma(num_rows, num_cols, k) for k in range(1, k_max + 1)]
-    queues = [TopKBuffer(g) for g in gammas]
-    sse = np.zeros(k_max)
-    row_base = 0
-    pass2_start = time.perf_counter()
-    with _span("build.pass2", rows=num_rows, k_max=int(k_max)):
-        for block in _row_chunks(source):
-            count = block.shape[0]
-            proj = block @ v
-            terms = proj[:, :, None] * v.T[None, :, :]
-            recon = np.cumsum(terms, axis=1)
-            diff = block[:, None, :] - recon
-            sse += np.einsum("ckm,ckm->k", diff, diff)
-            keys = (
-                (row_base + np.arange(count))[:, None] * num_cols
-                + np.arange(num_cols)[None, :]
-            ).ravel()
-            for ki in range(k_max):
-                deltas = diff[:, ki, :].ravel()
-                queues[ki].offer(keys, deltas, np.abs(deltas))
-            row_base += count
-    _record_pass(2, pass2_start, num_rows)
-    epsilon = np.maximum(
-        np.array([sse[ki] - queues[ki].retained_score_sq_sum() for ki in range(k_max)]),
-        0.0,
-    )
-    k_opt = int(np.argmin(epsilon)) + 1
-    lam_opt, v_opt = singular[:k_opt], v[:, :k_opt]
+    selection = fitter.select_cutoff(source, jobs=jobs)
+    k_opt = selection.k_opt
+    lam_opt, v_opt = selection.singular_values, selection.v
 
     # Pass 3 onward writes the model files; they are assembled in a
     # staging sibling and atomically swapped into ``directory`` so an
@@ -140,11 +128,13 @@ def build_compressed(
         np.save(staging / "lambda.npy", lam_opt.astype(factor_dtype))
         np.save(staging / "v.npy", v_opt.astype(factor_dtype))
 
-        keys, deltas, _scores = queues[k_opt - 1].finalize()
+        keys, deltas, _scores = selection.delta_queue.finalize()
         num_deltas = 0
         if keys.shape[0]:
             num_deltas = DeltaFile.write(
-                staging / "deltas.bin", zip(keys.tolist(), deltas.tolist())
+                staging / "deltas.bin",
+                zip(keys.tolist(), deltas.tolist()),
+                bytes_per_value=bytes_per_value,
             )
         delta_rows = {int(key) // num_cols for key in keys}
 
@@ -181,6 +171,33 @@ def build_compressed(
             "bytes_per_value": bytes_per_value,
         }
         (staging / "meta.json").write_text(json.dumps(meta, indent=2))
+
+        # Persist the pass-1 state so appends never rescan the data:
+        # the Gram matrix carries the spectrum forward, the bookkeeping
+        # file carries the energy split the drift estimate needs.
+        np.save(staging / GRAM_NAME, selection.gram)
+        total_energy = float(np.trace(selection.gram))
+        captured_energy = float((lam_opt * lam_opt).sum())
+        (staging / UPDATE_STATE_NAME).write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "budget_fraction": float(fitter.budget_fraction),
+                    "bytes_per_value": int(fitter.bytes_per_value),
+                    "raw_bytes_per_value": fitter.raw_bytes_per_value,
+                    "total_energy": total_energy,
+                    "captured_energy": captured_energy,
+                    "residual_sse": selection.residual_sse,
+                    "appends": 0,
+                    "rows_appended": 0,
+                    "cols_appended": 0,
+                    "drift": 0.0,
+                    "drift_threshold": DRIFT_THRESHOLD_DEFAULT,
+                    "rebuild_recommended": False,
+                },
+                indent=2,
+            )
+        )
         write_manifest(staging)
     if _obs.enabled:
         _obs.gauge("build.deltas_retained").set(num_deltas)
@@ -195,23 +212,6 @@ def build_compressed(
             zero_rows=len(zero_rows),
         )
     return CompressedMatrix.open(directory)
-
-
-def _record_pass(number: int, start: float, num_rows: int) -> None:
-    """Record one build pass's wall time and throughput (when enabled)."""
-    if not _obs.enabled:
-        return
-    elapsed = time.perf_counter() - start
-    _obs.gauge(f"build.pass{number}.seconds").set(elapsed)
-    rows_per_s = num_rows / elapsed if elapsed > 0 else 0.0
-    _obs.gauge(f"build.pass{number}.rows_per_s").set(rows_per_s)
-    log_event(
-        "build.pass",
-        number=number,
-        seconds=round(elapsed, 6),
-        rows=num_rows,
-        rows_per_s=round(rows_per_s, 1),
-    )
 
 
 def estimate_build_memory(num_cols: int, budget_fraction: float, num_rows: int) -> int:

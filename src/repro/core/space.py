@@ -9,7 +9,9 @@ bytes per number).  Plain SVD with cutoff ``k`` costs
 SVDD splits the same budget between principal components and outlier
 deltas; each delta is a ``(row, column, delta)`` triplet which we store
 as an 8-byte packed cell key (``row*M + column``, as the paper keys its
-hash table) plus an 8-byte value.
+hash table) plus a value at the model's precision ('b' bytes — see
+:func:`delta_record_bytes`), matching the on-disk
+:class:`~repro.storage.delta_file.DeltaFile` record exactly.
 """
 
 from __future__ import annotations
@@ -19,8 +21,30 @@ from repro.exceptions import BudgetError, ConfigurationError
 #: Default bytes per stored number ('b' in the paper's accounting).
 BYTES_PER_VALUE = 8
 
-#: On-disk bytes per outlier delta record: packed cell key + float delta.
+#: On-disk bytes per outlier delta record at the default precision
+#: (packed 8-byte cell key + float64 delta).  Precision-aware callers
+#: should use :func:`delta_record_bytes` instead.
 DELTA_RECORD_BYTES = 16
+
+#: Bytes of the packed ``row*M + col`` cell key in a delta record; the
+#: key is always int64 regardless of the value precision, because the
+#: key range is set by N*M, not by 'b'.
+DELTA_KEY_BYTES = 8
+
+
+def delta_record_bytes(bytes_per_value: int = BYTES_PER_VALUE) -> int:
+    """On-disk bytes per delta record at a given value precision.
+
+    A record is an 8-byte cell key plus one value at the model's 'b';
+    float32 models (``b=4``) therefore pay 12 bytes per outlier, not
+    16 — which is what :class:`~repro.storage.delta_file.DeltaFile`
+    actually writes for them.
+    """
+    if bytes_per_value not in (4, 8):
+        raise ConfigurationError(
+            f"bytes_per_value must be 4 or 8, got {bytes_per_value}"
+        )
+    return DELTA_KEY_BYTES + bytes_per_value
 
 
 def _check_dims(num_rows: int, num_cols: int) -> None:
@@ -62,12 +86,17 @@ def svdd_space_bytes(
     num_deltas: int,
     bytes_per_value: int = BYTES_PER_VALUE,
 ) -> int:
-    """SVDD model size: SVD part plus the outlier delta records."""
+    """SVDD model size: SVD part plus the outlier delta records.
+
+    The delta term uses :func:`delta_record_bytes` so float32 models
+    (``bytes_per_value=4``) are charged the 12 bytes per record their
+    :class:`~repro.storage.delta_file.DeltaFile` actually occupies.
+    """
     if num_deltas < 0:
         raise ConfigurationError(f"num_deltas must be >= 0, got {num_deltas}")
     return (
         svd_space_bytes(num_rows, num_cols, k, bytes_per_value)
-        + num_deltas * DELTA_RECORD_BYTES
+        + num_deltas * delta_record_bytes(bytes_per_value)
     )
 
 
@@ -127,4 +156,4 @@ def delta_budget(
     raw = raw_bytes_per_value if raw_bytes_per_value is not None else bytes_per_value
     budget = budget_fraction * uncompressed_bytes(num_rows, num_cols, raw)
     remaining = budget - svd_space_bytes(num_rows, num_cols, k, bytes_per_value)
-    return max(0, int(remaining // DELTA_RECORD_BYTES))
+    return max(0, int(remaining // delta_record_bytes(bytes_per_value)))

@@ -181,7 +181,11 @@ class CompressedMatrix:
             num_deltas = 0
             delta_rows: set[int] = set()
             if deltas is not None and len(deltas) > 0:
-                num_deltas = DeltaFile.write(staging / _DELTAS_NAME, deltas.items())
+                num_deltas = DeltaFile.write(
+                    staging / _DELTAS_NAME,
+                    deltas.items(),
+                    bytes_per_value=bytes_per_value,
+                )
                 delta_rows = {key // svd.num_cols for key, _d in deltas.items()}
             # Section 6.2 'practical issue': flag all-zero customers so
             # their cells are answered without touching the disk at all.
@@ -336,6 +340,7 @@ class CompressedMatrix:
             raise FormatError(f"{directory}: failed to load model: {exc}") from exc
         store = cls(u_store, eigenvalues, v, deltas, bloom, directory, zero_rows)
         store._bytes_per_value = bytes_per_value
+        store._open_options = (pool_capacity, on_corrupt)
         if degraded_reasons:
             store._degraded_reasons = tuple(degraded_reasons)
             _obs.counter("store.degraded_opens").inc()
@@ -406,8 +411,14 @@ class CompressedMatrix:
             cls._manifest_size_check(directory, manifest_files, _DELTAS_NAME)
             if not delta_path.exists():
                 raise FormatError(f"{directory}: missing {_DELTAS_NAME}")
+            # ``expected_count`` cross-checks the record count against
+            # meta.json: a deltas.bin appended (or swapped) without its
+            # metadata commit — e.g. a torn incremental append — must
+            # degrade or fail here, never serve a stale index silently.
             keys, values = DeltaFile.read_arrays(
-                delta_path, num_cells=int(meta["rows"]) * int(meta["cols"])
+                delta_path,
+                num_cells=int(meta["rows"]) * int(meta["cols"]),
+                expected_count=int(meta["num_deltas"]),
             )
             deltas = DeltaIndex(keys, values, meta["cols"])
             bloom = None
@@ -423,6 +434,22 @@ class CompressedMatrix:
                 raise
             degraded_reasons.append(str(exc))
             return None, None
+
+    def reopen(self) -> "CompressedMatrix":
+        """Open a fresh store over the directory's *current* contents.
+
+        Incremental appends (:mod:`repro.core.update`) swap the whole
+        model directory via rename, so an already-open store keeps
+        serving its pre-append snapshot through the old file handles;
+        ``reopen()`` is how a long-lived server picks up the post-append
+        state.  Uses the same pool capacity and corruption policy this
+        store was opened with.  The caller owns both stores — close the
+        old one once its in-flight queries drain.
+        """
+        pool_capacity, on_corrupt = self._open_options
+        return type(self).open(
+            self._directory, pool_capacity=pool_capacity, on_corrupt=on_corrupt
+        )
 
     def close(self) -> None:
         """Release the U store's file handle."""
@@ -477,6 +504,10 @@ class CompressedMatrix:
 
     #: On-disk precision of the factor matrices ('b' in the accounting).
     _bytes_per_value: int = 8
+
+    #: ``(pool_capacity, on_corrupt)`` this store was opened with, so
+    #: :meth:`reopen` can reproduce the open after an append.
+    _open_options: tuple[int, str] = (64, "raise")
 
     #: Validation failures absorbed by ``open(on_corrupt="degraded")``.
     _degraded_reasons: tuple[str, ...] = ()

@@ -30,6 +30,9 @@ overwhelming majority of non-outlier cells.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core import space
@@ -43,10 +46,66 @@ from repro.core.svd import (
 )
 from repro.exceptions import ConfigurationError
 from repro.linalg import SymmetricEigensolver, default_eigensolver
+from repro.obs.logging import log_event
+from repro.obs.registry import registry as _obs
+from repro.obs.tracing import span as _span
 from repro.storage.matrix_store import MatrixStore
 from repro.structures.bloom import BloomFilter
 from repro.structures.hashtable import OpenAddressingTable
 from repro.structures.topk import TopKBuffer
+
+
+@dataclass(frozen=True)
+class CutoffSelection:
+    """Outcome of SVDD passes 1-2: everything pass 3 (and incremental
+    maintenance) needs, with ``U`` deliberately absent.
+
+    ``fit`` and :func:`~repro.core.build.build_compressed` both consume
+    this, so the two entry points cannot diverge on ``k_opt``, the
+    retained delta set, or the budget arithmetic.
+    """
+
+    #: The M x M Gram matrix ``X^t X`` (pass-1 state; persisting it is
+    #: what lets appends update the spectrum without rescanning X).
+    gram: np.ndarray
+    #: Singular values at the chosen cutoff ``k_opt``, decreasing.
+    singular_values: np.ndarray
+    #: ``V`` restricted to the first ``k_opt`` columns (M x k_opt).
+    v: np.ndarray
+    #: The error-minimizing cutoff (paper Fig. 5 pass 2).
+    k_opt: int
+    #: Largest candidate cutoff that fit the budget.
+    k_max: int
+    #: ``epsilon_k`` for every candidate ``k`` (post-delta residual SSE).
+    candidate_errors: np.ndarray
+    #: The bounded priority queue of worst cells at ``k_opt``.
+    delta_queue: TopKBuffer
+    #: Full spectrum at ``k_max`` (what ``k_opt`` was chosen from).
+    all_singular_values: np.ndarray
+    #: Full ``V`` at ``k_max``.
+    all_v: np.ndarray
+
+    @property
+    def residual_sse(self) -> float:
+        """Residual sum of squared errors at ``k_opt`` after deltas."""
+        return float(self.candidate_errors[self.k_opt - 1])
+
+
+def _record_pass(number: int, start: float, num_rows: int) -> None:
+    """Record one build pass's wall time and throughput (when enabled)."""
+    if not _obs.enabled:
+        return
+    elapsed = time.perf_counter() - start
+    _obs.gauge(f"build.pass{number}.seconds").set(elapsed)
+    rows_per_s = num_rows / elapsed if elapsed > 0 else 0.0
+    _obs.gauge(f"build.pass{number}.rows_per_s").set(rows_per_s)
+    log_event(
+        "build.pass",
+        number=number,
+        seconds=round(elapsed, 6),
+        rows=num_rows,
+        rows_per_s=round(rows_per_s, 1),
+    )
 
 
 class SVDDCompressor:
@@ -94,7 +153,15 @@ class SVDDCompressor:
 
     # -- pass 1 helpers ---------------------------------------------------
 
-    def _candidate_cutoffs(self, num_rows: int, num_cols: int) -> int:
+    def candidate_cutoffs(self, num_rows: int, num_cols: int) -> int:
+        """``k_max``: the largest cutoff this compressor will consider.
+
+        The budget-derived :func:`~repro.core.space.max_k_for_budget`,
+        clipped by an explicit ``k_max`` argument when one was given.
+        Public because build pipelines size their candidate queues with
+        it; :func:`~repro.core.build.build_compressed` and :meth:`fit`
+        both go through here, so they can never disagree.
+        """
         k_fit = space.max_k_for_budget(
             num_rows,
             num_cols,
@@ -103,6 +170,9 @@ class SVDDCompressor:
             self.raw_bytes_per_value,
         )
         return min(k_fit, self.k_max) if self.k_max is not None else k_fit
+
+    # Backwards-compatible alias for callers of the old private name.
+    _candidate_cutoffs = candidate_cutoffs
 
     def _gamma(self, num_rows: int, num_cols: int, k: int) -> int:
         gamma = space.delta_budget(
@@ -116,16 +186,31 @@ class SVDDCompressor:
         # Storing more deltas than cells is meaningless.
         return min(gamma, num_rows * num_cols)
 
-    # -- the 3-pass fit -------------------------------------------------------
+    # -- passes 1-2 (shared with the streamed build) -----------------------
 
-    def fit(self, source: MatrixStore | np.ndarray) -> SVDDModel:
-        """Run the three passes and return the fitted :class:`SVDDModel`."""
+    def select_cutoff(
+        self, source: MatrixStore | np.ndarray, jobs: int = 1
+    ) -> CutoffSelection:
+        """Run passes 1-2 and choose ``k_opt`` (paper Fig. 5).
+
+        This is the single implementation behind both :meth:`fit` and
+        :func:`~repro.core.build.build_compressed`; the two entry
+        points only differ in how pass 3 materializes ``U``.
+
+        Args:
+            jobs: worker threads for the banded pass-1 Gram
+                accumulation; pass 2 is sequential either way and the
+                selection is identical for any ``jobs``.
+        """
         num_rows, num_cols = source_shape(source)
 
         # ---- Pass 1: Lambda and V at k_max; per-k delta budgets.
-        k_max = self._candidate_cutoffs(num_rows, num_cols)
-        gram = compute_gram(source)
-        singular_values, v = spectrum_from_gram(gram, k_max, self.eigensolver)
+        k_max = self.candidate_cutoffs(num_rows, num_cols)
+        pass1_start = time.perf_counter()
+        with _span("build.pass1", rows=num_rows, cols=num_cols):
+            gram = compute_gram(source, jobs=jobs)
+            singular_values, v = spectrum_from_gram(gram, k_max, self.eigensolver)
+        _record_pass(1, pass1_start, num_rows)
         k_max = singular_values.shape[0]  # effective rank may cut it down
         gammas = [self._gamma(num_rows, num_cols, k) for k in range(1, k_max + 1)]
         queues = [TopKBuffer(gamma) for gamma in gammas]
@@ -139,24 +224,27 @@ class SVDDCompressor:
         )
         sse = np.zeros(k_max)  # sum of squared errors per candidate k
         row_base = 0
-        for outer_block in _row_chunks(source):
-            for start in range(0, outer_block.shape[0], max_tensor_rows):
-                block = outer_block[start : start + max_tensor_rows]
-                count = block.shape[0]
-                proj = block @ v  # (c, k_max): the U*Lambda coordinates
-                # Cumulative rank-k reconstructions: recon[:, k, :] uses k+1 terms.
-                terms = proj[:, :, None] * v.T[None, :, :]
-                recon = np.cumsum(terms, axis=1)
-                diff = block[:, None, :] - recon  # (c, k_max, M) deltas
-                sse += np.einsum("ckm,ckm->k", diff, diff)
-                keys = (
-                    (row_base + np.arange(count))[:, None] * num_cols
-                    + np.arange(num_cols)[None, :]
-                ).ravel()
-                for ki in range(k_max):
-                    deltas = diff[:, ki, :].ravel()
-                    queues[ki].offer(keys, deltas, np.abs(deltas))
-                row_base += count
+        pass2_start = time.perf_counter()
+        with _span("build.pass2", rows=num_rows, k_max=int(k_max)):
+            for outer_block in _row_chunks(source):
+                for start in range(0, outer_block.shape[0], max_tensor_rows):
+                    block = outer_block[start : start + max_tensor_rows]
+                    count = block.shape[0]
+                    proj = block @ v  # (c, k_max): the U*Lambda coordinates
+                    # Cumulative rank-k reconstructions: recon[:, k, :] uses k+1 terms.
+                    terms = proj[:, :, None] * v.T[None, :, :]
+                    recon = np.cumsum(terms, axis=1)
+                    diff = block[:, None, :] - recon  # (c, k_max, M) deltas
+                    sse += np.einsum("ckm,ckm->k", diff, diff)
+                    keys = (
+                        (row_base + np.arange(count))[:, None] * num_cols
+                        + np.arange(num_cols)[None, :]
+                    ).ravel()
+                    for ki in range(k_max):
+                        deltas = diff[:, ki, :].ravel()
+                        queues[ki].offer(keys, deltas, np.abs(deltas))
+                    row_base += count
+        _record_pass(2, pass2_start, num_rows)
 
         # epsilon_k: residual error after the affordable deltas are
         # corrected exactly (their squared error leaves the total).
@@ -166,13 +254,31 @@ class SVDDCompressor:
         epsilon = np.maximum(epsilon, 0.0)  # guard float cancellation
         k_opt = int(np.argmin(epsilon)) + 1
 
+        return CutoffSelection(
+            gram=gram,
+            singular_values=singular_values[:k_opt],
+            v=v[:, :k_opt],
+            k_opt=k_opt,
+            k_max=k_max,
+            candidate_errors=epsilon,
+            delta_queue=queues[k_opt - 1],
+            all_singular_values=singular_values,
+            all_v=v,
+        )
+
+    # -- the 3-pass fit -------------------------------------------------------
+
+    def fit(self, source: MatrixStore | np.ndarray) -> SVDDModel:
+        """Run the three passes and return the fitted :class:`SVDDModel`."""
+        selection = self.select_cutoff(source)
+
         # ---- Pass 3: U for the chosen cutoff.
-        lam_opt = singular_values[:k_opt]
-        v_opt = v[:, :k_opt]
+        lam_opt = selection.singular_values
+        v_opt = selection.v
         u = compute_u(source, lam_opt, v_opt)
         svd_model = SVDModel(u=u, eigenvalues=lam_opt, v=v_opt)
 
-        keys, deltas, _scores = queues[k_opt - 1].finalize()
+        keys, deltas, _scores = selection.delta_queue.finalize()
         table = OpenAddressingTable(initial_capacity=max(16, 2 * keys.shape[0]))
         for key, delta in zip(keys, deltas):
             table.put(int(key), float(delta))
@@ -185,8 +291,8 @@ class SVDDCompressor:
             svd=svd_model,
             deltas=table,
             bloom=bloom,
-            k_max=k_max,
-            candidate_errors=epsilon,
+            k_max=selection.k_max,
+            candidate_errors=selection.candidate_errors,
         )
 
 
@@ -226,7 +332,7 @@ class NaiveSVDDCompressor:
         from repro.core.svd import SVDCompressor
 
         num_rows, num_cols = source_shape(source)
-        k_max = self._fast._candidate_cutoffs(num_rows, num_cols)
+        k_max = self._fast.candidate_cutoffs(num_rows, num_cols)
 
         best_epsilon = np.inf
         best_k = 1

@@ -1,0 +1,650 @@
+"""Incremental maintenance of a persistent model directory.
+
+The paper's warehouse is alive: every day appends one column to the
+``N x M`` matrix (a new day per customer) and new customers append
+rows.  Rebuilding with :func:`~repro.core.build.build_compressed`
+re-runs all three passes over the full store; this module folds new
+data into an existing model directory without rescanning what is
+already compressed:
+
+- :func:`append_columns` extends the model by ``d`` new days.  The
+  serving basis ``U``/``Lambda`` is kept fixed; each new column ``x_j``
+  joins by least-squares projection onto it,
+
+      v_j = Lambda^{-1} U^t x_j        (Eq. 11 applied to X^t),
+
+  computed in one streamed pass over the on-disk ``U`` page file — the
+  original data is never touched.  The persisted pass-1 Gram state is
+  extended with the new columns (cross terms estimated through the
+  model, the new block exact), and the delta budget pass re-runs over
+  the old outliers plus every new cell;
+- :func:`append_rows` streams new customers' ``U`` rows (projection by
+  the same Eq. 11) straight onto a staged copy of the page file through
+  :meth:`~repro.storage.matrix_store.MatrixStore.append_rows`, updates
+  the Gram state exactly, and lets the new rows' worst cells compete
+  for the enlarged delta budget.
+
+Every append is **crash-atomic**: the next model version is assembled
+in a staging sibling (unchanged large files hardlinked, changed files
+rewritten), its manifest is rewritten, and the whole directory is
+swapped in by rename via :func:`~repro.storage.atomic.staged_directory`.
+Readers holding the old directory open keep serving the exact
+pre-append answers (POSIX keeps their inodes alive); a
+:meth:`~repro.core.store.CompressedMatrix.reopen` picks up the new
+state.  One appender at a time: appends take no lock, so concurrent
+appends to the same directory are the caller's responsibility to
+serialize.
+
+Because the basis is frozen between rebuilds, the model slowly drifts
+from what a fresh rebuild would produce.  Each append therefore
+re-derives the spectrum of the updated Gram matrix and reports
+
+    drift = 1 - (energy retained by the stored spectrum)
+                / (energy the fresh spectrum would retain)
+
+persisted in ``update_state.json`` together with the exact energy
+bookkeeping; once drift crosses the advisory threshold the state (and
+the returned :class:`AppendResult`) carries ``rebuild_recommended``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core import space
+from repro.core.build import DRIFT_THRESHOLD_DEFAULT, GRAM_NAME, UPDATE_STATE_NAME
+from repro.core.store import CompressedMatrix, _u_columns
+from repro.exceptions import ConfigurationError, FormatError, ShapeError
+from repro.linalg import default_eigensolver
+from repro.obs.logging import log_event
+from repro.obs.registry import registry as _obs
+from repro.obs.tracing import span as _span
+from repro.storage.atomic import staged_directory
+from repro.storage.delta_file import DeltaFile
+from repro.storage.integrity import load_manifest, write_manifest
+from repro.storage.matrix_store import MatrixStore
+from repro.structures.topk import TopKBuffer
+
+__all__ = ["AppendResult", "append_columns", "append_rows", "load_update_state"]
+
+#: Rows per block when streaming the on-disk ``U`` file.
+_U_BLOCK_ROWS = 1024
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """Outcome of one incremental append."""
+
+    directory: str
+    #: ``"columns"`` or ``"rows"``.
+    kind: str
+    #: How many columns/rows this append added.
+    appended: int
+    #: Post-append shape.
+    rows: int
+    cols: int
+    #: Post-append outlier count (old and new cells compete for the
+    #: enlarged budget).
+    num_deltas: int
+    #: Energy retained by the stored spectrum vs. a fresh one (0 = the
+    #: frozen basis is still optimal; grows as patterns shift).
+    drift: float
+    #: Advisory flag: drift crossed the threshold, schedule a rebuild.
+    rebuild_recommended: bool
+    #: Residual energy fraction of the model after this append.
+    residual_fraction: float
+    #: Wall-clock seconds the append took.
+    seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (what the ``update.append`` log event carries)."""
+        return asdict(self)
+
+
+# -- state loading ---------------------------------------------------------
+
+
+def load_update_state(model_dir: str | os.PathLike) -> dict:
+    """Parse a model directory's ``update_state.json``.
+
+    Raises :class:`FormatError` when the directory has no incremental
+    state (models written by ``CompressedMatrix.save`` before the
+    update subsystem, or with the state files deleted) — those models
+    can only be refreshed by a full rebuild.
+    """
+    directory = Path(model_dir)
+    path = directory / UPDATE_STATE_NAME
+    if not path.exists():
+        raise FormatError(
+            f"{directory}: no {UPDATE_STATE_NAME} — this model predates the "
+            "incremental update subsystem; rebuild it with build_compressed "
+            "to make it appendable"
+        )
+    try:
+        state = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FormatError(f"{path}: invalid update state JSON: {exc}") from exc
+    if not isinstance(state, dict) or "budget_fraction" not in state:
+        raise FormatError(f"{path}: update state missing 'budget_fraction'")
+    return state
+
+
+def _load_append_context(directory: Path) -> dict:
+    """Everything both append flavors need from the model directory."""
+    meta = CompressedMatrix._load_meta(directory)
+    if meta.get("kind") != "svdd":
+        raise FormatError(
+            f"{directory}: incremental appends require an svdd model, "
+            f"got kind {meta.get('kind')!r}"
+        )
+    state = load_update_state(directory)
+    gram_path = directory / GRAM_NAME
+    if not gram_path.exists():
+        raise FormatError(
+            f"{directory}: missing {GRAM_NAME} — pass-1 state is required "
+            "to append without rescanning the data"
+        )
+    gram = np.asarray(np.load(gram_path), dtype=np.float64)
+    lam = np.load(directory / "lambda.npy").astype(np.float64)
+    v = np.load(directory / "v.npy").astype(np.float64)
+    num_cols = int(meta["cols"])
+    if gram.shape != (num_cols, num_cols):
+        raise FormatError(
+            f"{directory}: {GRAM_NAME} shape {gram.shape} does not match "
+            f"meta cols {num_cols}"
+        )
+    keys = np.empty(0, dtype=np.int64)
+    values = np.empty(0, dtype=np.float64)
+    if int(meta["num_deltas"]) > 0:
+        keys, values = DeltaFile.read_arrays(
+            directory / "deltas.bin",
+            num_cells=int(meta["rows"]) * num_cols,
+            expected_count=int(meta["num_deltas"]),
+        )
+    zero_rows = np.empty(0, dtype=np.int64)
+    if meta.get("zero_rows") and (directory / "zero_rows.npy").exists():
+        zero_rows = np.asarray(np.load(directory / "zero_rows.npy"), dtype=np.int64)
+    try:
+        manifest = load_manifest(directory)
+    except FormatError:
+        manifest = None
+    return {
+        "meta": meta,
+        "state": state,
+        "gram": gram,
+        "lam": lam,
+        "v": v,
+        "delta_keys": keys,
+        "delta_values": values,
+        "zero_rows": zero_rows,
+        "manifest_files": manifest["files"] if manifest else {},
+    }
+
+
+def _u_blocks(u_store: MatrixStore, cutoff: int) -> Iterator[tuple[int, np.ndarray]]:
+    """Stream the on-disk U as ``(start_row, block)`` float64 chunks."""
+    rows = u_store.num_rows
+    start = 0
+    buffer: list[np.ndarray] = []
+    for _index, row in u_store.iter_rows():
+        buffer.append(row[:cutoff])
+        if len(buffer) >= _U_BLOCK_ROWS:
+            yield start, np.vstack(buffer)
+            start += len(buffer)
+            buffer = []
+    if buffer:
+        yield start, np.vstack(buffer)
+    assert start + len(buffer) == rows or not buffer
+
+
+def _inv(lam: np.ndarray) -> np.ndarray:
+    """``Lambda^{-1}`` with zero (padded/degenerate) values mapped to 0."""
+    positive = lam > 0.0
+    return np.where(positive, 1.0 / np.where(positive, lam, 1.0), 0.0)
+
+
+def _merge_deltas(
+    old_keys: np.ndarray,
+    old_values: np.ndarray,
+    new_keys: np.ndarray,
+    new_values: np.ndarray,
+    budget: int,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Top-``budget`` outliers (by |value|) among old and new candidates.
+
+    Returns ``(keys, values, retained_sq)`` where ``retained_sq`` is the
+    squared-error mass the retained deltas correct exactly.
+    """
+    queue = TopKBuffer(max(0, budget))
+    if old_keys.size:
+        queue.offer(old_keys, old_values, np.abs(old_values))
+    if new_keys.size:
+        queue.offer(new_keys, new_values, np.abs(new_values))
+    retained_sq = float(queue.retained_score_sq_sum())
+    keys, values, _scores = queue.finalize()
+    order = np.argsort(keys)
+    return keys[order], values[order], retained_sq
+
+
+def _fresh_spectrum_energy(gram: np.ndarray, cutoff: int) -> float:
+    """Energy a freshly computed rank-``cutoff`` spectrum would retain."""
+    from repro.core.svd import spectrum_from_gram
+
+    singular, _v = spectrum_from_gram(gram, cutoff, default_eigensolver())
+    return float((singular * singular).sum())
+
+
+def _drift_state(
+    state: dict,
+    gram: np.ndarray,
+    cutoff: int,
+    drift_threshold: float | None,
+) -> tuple[float, float, bool]:
+    """``(drift, threshold, rebuild_recommended)`` for the updated Gram."""
+    threshold = (
+        float(drift_threshold)
+        if drift_threshold is not None
+        else float(state.get("drift_threshold", DRIFT_THRESHOLD_DEFAULT))
+    )
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(
+            f"drift_threshold must be in (0, 1], got {threshold}"
+        )
+    fresh = _fresh_spectrum_energy(gram, cutoff)
+    captured = float(state["captured_energy"])
+    drift = max(0.0, 1.0 - captured / fresh) if fresh > 0.0 else 0.0
+    recommended = bool(state.get("rebuild_recommended")) or drift > threshold
+    return drift, threshold, recommended
+
+
+def _emit_metrics(result: AppendResult) -> None:
+    if not _obs.enabled:
+        return
+    _obs.counter("update.appends").inc()
+    if result.kind == "columns":
+        _obs.counter("update.cols_appended").inc(result.appended)
+    else:
+        _obs.counter("update.rows_appended").inc(result.appended)
+    _obs.gauge("update.drift").set(result.drift)
+    _obs.gauge("update.residual_fraction").set(result.residual_fraction)
+    _obs.gauge("update.seconds").set(result.seconds)
+    _obs.gauge("update.rebuild_recommended").set(
+        1.0 if result.rebuild_recommended else 0.0
+    )
+    log_event("update.append", **result.to_dict())
+
+
+def _link_or_copy(source: Path, target: Path) -> None:
+    """Hardlink ``source`` into staging, copying when links are unsupported.
+
+    Hardlinking is safe because model files are never modified in
+    place: the committed append replaces files wholesale, and the
+    pre-append directory is removed (not rewritten) by the swap.
+    """
+    try:
+        os.link(source, target)
+    except OSError:
+        shutil.copyfile(source, target)
+
+
+def _write_state(staging: Path, state: dict) -> None:
+    (staging / UPDATE_STATE_NAME).write_text(json.dumps(state, indent=2))
+
+
+def _reused_entries(manifest_files: dict, names: tuple[str, ...]) -> dict:
+    return {name: manifest_files[name] for name in names if name in manifest_files}
+
+
+# -- append columns (new days) ---------------------------------------------
+
+
+def append_columns(
+    model_dir: str | os.PathLike,
+    new_cols: np.ndarray,
+    drift_threshold: float | None = None,
+) -> AppendResult:
+    """Fold ``d`` new days into an existing model without a rebuild.
+
+    Args:
+        model_dir: a model directory written by
+            :func:`~repro.core.build.build_compressed` (it must carry
+            the persisted pass-1 state).
+        new_cols: ``(N, d)`` array — one new value per existing
+            customer per appended day.
+        drift_threshold: override the advisory rebuild threshold
+            (persisted for subsequent appends).
+
+    The append costs two streamed passes over the on-disk ``U`` (each
+    ``O(N k)`` I/O), one ``(M+d)``-sized eigenproblem, and the delta
+    merge — independent of the original matrix's cells.
+    """
+    started = time.perf_counter()
+    directory = Path(model_dir)
+    ctx = _load_append_context(directory)
+    meta, state = ctx["meta"], ctx["state"]
+    num_rows, num_cols = int(meta["rows"]), int(meta["cols"])
+    cutoff = int(meta["cutoff"])
+    bytes_per_value = int(meta.get("bytes_per_value", 8))
+    factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
+
+    x_new = np.ascontiguousarray(np.asarray(new_cols, dtype=np.float64))
+    if x_new.ndim == 1:
+        x_new = x_new[:, None]
+    if x_new.ndim != 2 or x_new.shape[0] != num_rows or x_new.shape[1] < 1:
+        raise ShapeError(
+            f"new columns must be ({num_rows}, d>=1), got shape {x_new.shape}"
+        )
+    added = x_new.shape[1]
+    new_total_cols = num_cols + added
+    lam, v = ctx["lam"], ctx["v"]
+    inv_lam = _inv(lam)
+
+    u_store = MatrixStore.open(directory / "u.mat")
+    try:
+        # Pass A over U: P = U^t X_new, the new columns' coordinates.
+        projection = np.zeros((cutoff, added))
+        with _span("update.project_cols", rows=num_rows, cols=added):
+            for start, block in _u_blocks(u_store, cutoff):
+                projection += block.T @ x_new[start : start + block.shape[0]]
+        v_new = (projection.T * inv_lam)  # (d, k): the appended V rows
+
+        # Pass B over U: residuals of every new cell under the frozen
+        # basis; the worst compete for the enlarged delta budget.
+        weights = lam[:, None] * v_new.T  # (k, d) = Lambda V_new^t
+        candidate_keys: list[np.ndarray] = []
+        candidate_values: list[np.ndarray] = []
+        new_energy = float((x_new * x_new).sum())
+        captured_inc = 0.0
+        with _span("update.residual_cols", rows=num_rows, cols=added):
+            for start, block in _u_blocks(u_store, cutoff):
+                recon = block @ weights
+                captured_inc += float((recon * recon).sum())
+                residual = x_new[start : start + block.shape[0]] - recon
+                rows_idx = np.arange(start, start + block.shape[0])
+                keys = (
+                    rows_idx[:, None] * new_total_cols
+                    + (num_cols + np.arange(added))[None, :]
+                ).ravel()
+                candidate_keys.append(keys)
+                candidate_values.append(residual.ravel())
+    finally:
+        u_store.close()
+
+    # Old outliers keep their cells; only the packed keys change base.
+    old_keys = ctx["delta_keys"]
+    old_rows_of_keys = old_keys // num_cols
+    remapped = old_rows_of_keys * new_total_cols + (old_keys % num_cols)
+    budget = space.delta_budget(
+        num_rows,
+        new_total_cols,
+        cutoff,
+        float(state["budget_fraction"]),
+        int(state.get("bytes_per_value", bytes_per_value)),
+        state.get("raw_bytes_per_value"),
+    )
+    budget = min(budget, num_rows * new_total_cols)
+    merged_keys, merged_values, retained_sq = _merge_deltas(
+        remapped,
+        ctx["delta_values"],
+        np.concatenate(candidate_keys) if candidate_keys else np.empty(0, np.int64),
+        np.concatenate(candidate_values) if candidate_values else np.empty(0),
+        budget,
+    )
+
+    # Exact energy bookkeeping: residual = everything the factors and
+    # the retained deltas do not explain.
+    old_delta_sq = float((ctx["delta_values"] ** 2).sum())
+    total_energy = float(state["total_energy"]) + new_energy
+    captured_energy = float(state["captured_energy"]) + captured_inc
+    residual_sse = max(
+        0.0,
+        float(state["residual_sse"])
+        + old_delta_sq
+        + (new_energy - captured_inc)
+        - retained_sq,
+    )
+
+    # Gram extension: the new block is exact, the cross block estimated
+    # through the model (X_old ~ U Lambda V^t plus the stored deltas).
+    gram = ctx["gram"]
+    cross = v @ (lam[:, None] * projection)  # (M, d)
+    if old_keys.size:
+        old_cols_of_keys = old_keys % num_cols
+        np.add.at(
+            cross,
+            old_cols_of_keys,
+            ctx["delta_values"][:, None] * x_new[old_rows_of_keys],
+        )
+    new_gram = np.empty((new_total_cols, new_total_cols))
+    new_gram[:num_cols, :num_cols] = gram
+    new_gram[:num_cols, num_cols:] = cross
+    new_gram[num_cols:, :num_cols] = cross.T
+    new_gram[num_cols:, num_cols:] = x_new.T @ x_new
+
+    state = dict(state)
+    state["total_energy"] = total_energy
+    state["captured_energy"] = captured_energy
+    state["residual_sse"] = residual_sse
+    state["appends"] = int(state.get("appends", 0)) + 1
+    state["cols_appended"] = int(state.get("cols_appended", 0)) + added
+    drift, threshold, recommended = _drift_state(
+        state, new_gram, cutoff, drift_threshold
+    )
+    state["drift"] = drift
+    state["drift_threshold"] = threshold
+    state["rebuild_recommended"] = recommended
+
+    # Rows provably still all-zero: previously flagged, zero across the
+    # appended days, and holding no retained delta.
+    zero_rows = ctx["zero_rows"]
+    if zero_rows.size:
+        still_zero = np.abs(x_new[zero_rows]).sum(axis=1) == 0.0
+        zero_rows = zero_rows[still_zero]
+    if zero_rows.size and merged_keys.size:
+        delta_rows = np.unique(merged_keys // new_total_cols)
+        zero_rows = zero_rows[~np.isin(zero_rows, delta_rows)]
+
+    meta = dict(meta)
+    meta["cols"] = new_total_cols
+    meta["num_deltas"] = int(merged_keys.size)
+    meta["zero_rows"] = int(zero_rows.size)
+
+    extended_v = np.vstack([v, v_new])
+    with staged_directory(directory) as staging:
+        _link_or_copy(directory / "u.mat", staging / "u.mat")
+        _link_or_copy(directory / "lambda.npy", staging / "lambda.npy")
+        np.save(staging / "v.npy", extended_v.astype(factor_dtype))
+        if merged_keys.size:
+            DeltaFile.write(
+                staging / "deltas.bin",
+                zip(merged_keys.tolist(), merged_values.tolist()),
+                bytes_per_value=bytes_per_value,
+            )
+        if zero_rows.size:
+            np.save(staging / "zero_rows.npy", np.sort(zero_rows))
+        np.save(staging / GRAM_NAME, new_gram)
+        (staging / "meta.json").write_text(json.dumps(meta, indent=2))
+        _write_state(staging, state)
+        write_manifest(
+            staging,
+            reuse=_reused_entries(ctx["manifest_files"], ("u.mat", "lambda.npy")),
+        )
+
+    result = AppendResult(
+        directory=str(directory),
+        kind="columns",
+        appended=added,
+        rows=num_rows,
+        cols=new_total_cols,
+        num_deltas=int(merged_keys.size),
+        drift=drift,
+        rebuild_recommended=recommended,
+        residual_fraction=residual_sse / total_energy if total_energy > 0 else 0.0,
+        seconds=time.perf_counter() - started,
+    )
+    _emit_metrics(result)
+    return result
+
+
+# -- append rows (new customers) -------------------------------------------
+
+
+def append_rows(
+    model_dir: str | os.PathLike,
+    new_rows: np.ndarray,
+    drift_threshold: float | None = None,
+) -> AppendResult:
+    """Fold new customers into an existing model without a rebuild.
+
+    New rows join by projection onto the frozen axes (Eq. 11,
+    ``u = x V Lambda^{-1}``); their padded ``U`` rows are streamed onto
+    a staged copy of the page file through ``MatrixStore.append_rows``,
+    the Gram state is updated *exactly* (``C += X_new^t X_new``), and
+    the new rows' worst-reconstructed cells compete with the existing
+    outliers for the enlarged delta budget.  Crash-atomic like
+    :func:`append_columns`.
+    """
+    started = time.perf_counter()
+    directory = Path(model_dir)
+    ctx = _load_append_context(directory)
+    meta, state = ctx["meta"], ctx["state"]
+    num_rows, num_cols = int(meta["rows"]), int(meta["cols"])
+    cutoff = int(meta["cutoff"])
+    bytes_per_value = int(meta.get("bytes_per_value", 8))
+    factor_dtype = np.float32 if bytes_per_value == 4 else np.float64
+
+    x_new = np.atleast_2d(np.ascontiguousarray(np.asarray(new_rows, dtype=np.float64)))
+    if x_new.ndim != 2 or x_new.shape[1] != num_cols or x_new.shape[0] < 1:
+        raise ShapeError(
+            f"new rows must be (n>=1, {num_cols}), got shape {x_new.shape}"
+        )
+    added = x_new.shape[0]
+    new_total_rows = num_rows + added
+    lam, v = ctx["lam"], ctx["v"]
+    inv_lam = _inv(lam)
+
+    with _span("update.project_rows", rows=added, cols=num_cols):
+        u_new = (x_new @ v) * inv_lam  # (n, k) — Eq. 11
+        recon = (u_new * lam) @ v.T
+        residual = x_new - recon
+
+    new_energy = float((x_new * x_new).sum())
+    captured_inc = float((recon * recon).sum())
+    row_idx = num_rows + np.arange(added)
+    candidate_keys = (
+        row_idx[:, None] * num_cols + np.arange(num_cols)[None, :]
+    ).ravel()
+    budget = space.delta_budget(
+        new_total_rows,
+        num_cols,
+        cutoff,
+        float(state["budget_fraction"]),
+        int(state.get("bytes_per_value", bytes_per_value)),
+        state.get("raw_bytes_per_value"),
+    )
+    budget = min(budget, new_total_rows * num_cols)
+    merged_keys, merged_values, retained_sq = _merge_deltas(
+        ctx["delta_keys"],
+        ctx["delta_values"],
+        candidate_keys,
+        residual.ravel(),
+        budget,
+    )
+
+    old_delta_sq = float((ctx["delta_values"] ** 2).sum())
+    total_energy = float(state["total_energy"]) + new_energy
+    captured_energy = float(state["captured_energy"]) + captured_inc
+    residual_sse = max(
+        0.0,
+        float(state["residual_sse"])
+        + old_delta_sq
+        + (new_energy - captured_inc)
+        - retained_sq,
+    )
+
+    new_gram = ctx["gram"] + x_new.T @ x_new
+
+    state = dict(state)
+    state["total_energy"] = total_energy
+    state["captured_energy"] = captured_energy
+    state["residual_sse"] = residual_sse
+    state["appends"] = int(state.get("appends", 0)) + 1
+    state["rows_appended"] = int(state.get("rows_appended", 0)) + added
+    drift, threshold, recommended = _drift_state(
+        state, new_gram, cutoff, drift_threshold
+    )
+    state["drift"] = drift
+    state["drift_threshold"] = threshold
+    state["rebuild_recommended"] = recommended
+
+    # Appended all-zero customers earn the zero-row fast path, unless a
+    # retained delta gives them a nonzero cell (cannot happen for a
+    # truly zero row, but guard anyway); existing flags survive as-is —
+    # old rows gained no cells and kept their deltas only by merit.
+    zero_rows = ctx["zero_rows"]
+    new_zero = row_idx[np.abs(x_new).sum(axis=1) == 0.0]
+    zero_rows = np.concatenate([zero_rows, new_zero])
+    if zero_rows.size and merged_keys.size:
+        delta_rows = np.unique(merged_keys // num_cols)
+        zero_rows = zero_rows[~np.isin(zero_rows, delta_rows)]
+
+    meta = dict(meta)
+    meta["rows"] = new_total_rows
+    meta["num_deltas"] = int(merged_keys.size)
+    meta["zero_rows"] = int(zero_rows.size)
+
+    pad_cols = _u_columns(cutoff, bytes_per_value)
+    padded_u = np.zeros((added, pad_cols))
+    padded_u[:, :cutoff] = u_new
+
+    with staged_directory(directory) as staging:
+        # U grows: copy, then stream the new rows onto the copy.  The
+        # live file is never modified, so readers stay consistent and a
+        # crash mid-append discards only the staging directory.
+        shutil.copyfile(directory / "u.mat", staging / "u.mat")
+        with _span("update.append_u_rows", rows=added):
+            staged_u = MatrixStore.open(staging / "u.mat")
+            try:
+                staged_u.append_rows(padded_u[i] for i in range(added))
+            finally:
+                staged_u.close()
+        _link_or_copy(directory / "lambda.npy", staging / "lambda.npy")
+        _link_or_copy(directory / "v.npy", staging / "v.npy")
+        if merged_keys.size:
+            DeltaFile.write(
+                staging / "deltas.bin",
+                zip(merged_keys.tolist(), merged_values.tolist()),
+                bytes_per_value=bytes_per_value,
+            )
+        if zero_rows.size:
+            np.save(staging / "zero_rows.npy", np.sort(zero_rows))
+        np.save(staging / GRAM_NAME, new_gram)
+        (staging / "meta.json").write_text(json.dumps(meta, indent=2))
+        _write_state(staging, state)
+        write_manifest(
+            staging,
+            reuse=_reused_entries(ctx["manifest_files"], ("lambda.npy", "v.npy")),
+        )
+
+    result = AppendResult(
+        directory=str(directory),
+        kind="rows",
+        appended=added,
+        rows=new_total_rows,
+        cols=num_cols,
+        num_deltas=int(merged_keys.size),
+        drift=drift,
+        rebuild_recommended=recommended,
+        residual_fraction=residual_sse / total_energy if total_energy > 0 else 0.0,
+        seconds=time.perf_counter() - started,
+    )
+    _emit_metrics(result)
+    return result

@@ -166,6 +166,27 @@ class QueryEngine:
         # share one engine without losing increments.
         self._stats_lock = threading.Lock()
 
+    def refresh(self, backend) -> None:
+        """Swap in a new backend (e.g. a reopened post-append store).
+
+        The swap is a single reference assignment; queries already in
+        flight keep the backend snapshot they captured on entry, so
+        every answer is computed wholly against the old or wholly
+        against the new state — never a mix.
+        """
+        adapted = _Backend(backend)
+        self._raw_backend = backend
+        self._backend = adapted
+
+    def _snapshot(self) -> tuple[object, _Backend]:
+        """One consistent ``(raw, adapted)`` backend pair for a query.
+
+        Public methods read the backend exactly once through this, so a
+        concurrent :meth:`refresh` can never leave one query evaluating
+        half against the old store and half against the new one.
+        """
+        return self._raw_backend, self._backend
+
     @property
     def shape(self) -> tuple[int, int]:
         """Shape of the matrix being queried."""
@@ -180,25 +201,26 @@ class QueryEngine:
         """
         if isinstance(query, tuple):
             query = CellQuery(*query)
-        rows, cols = self.shape
+        raw, backend = self._snapshot()
+        rows, cols = backend.shape
         if not 0 <= query.row < rows:
             raise QueryError(f"row {query.row} out of range [0, {rows})")
         if not 0 <= query.col < cols:
             raise QueryError(f"col {query.col} out of range [0, {cols})")
         if not _obs.enabled:
-            value = self._backend.cell(query.row, query.col)
+            value = backend.cell(query.row, query.col)
             return QueryResult(value=value, cells_touched=1, rows_fetched=1)
-        capture = StatDelta(self._raw_backend)
+        capture = StatDelta(raw)
         start = time.perf_counter_ns()
         with _span("query.cell", row=query.row, col=query.col):
-            value = self._backend.cell(query.row, query.col)
+            value = backend.cell(query.row, query.col)
         profile = QueryProfile(
             path="cell",
             function=None,
             cells=1,
             rows_fetched=1,
             total_ns=time.perf_counter_ns() - start,
-            backend=type(self._raw_backend).__name__,
+            backend=type(raw).__name__,
             **capture.collect(),
         )
         return QueryResult(
@@ -223,12 +245,13 @@ class QueryEngine:
             return []
         rows = np.asarray([p[0] for p in pairs], dtype=np.int64)
         cols = np.asarray([p[1] for p in pairs], dtype=np.int64)
-        num_rows, num_cols = self.shape
+        _raw, backend = self._snapshot()
+        num_rows, num_cols = backend.shape
         if rows.min() < 0 or rows.max() >= num_rows:
             raise QueryError(f"row selection outside [0, {num_rows})")
         if cols.min() < 0 or cols.max() >= num_cols:
             raise QueryError(f"col selection outside [0, {num_cols})")
-        values = self._backend.cells(rows, cols)
+        values = backend.cells(rows, cols)
         return [
             QueryResult(value=float(value), cells_touched=1, rows_fetched=1)
             for value in values
@@ -246,13 +269,14 @@ class QueryEngine:
         :class:`~repro.obs.profile.QueryProfile` with the path taken,
         page accesses, pool hit rate, and phase timings.
         """
+        raw, backend = self._snapshot()
         if not _obs.enabled:
-            result, _path = self._run_aggregate(query)
+            result, _path = self._run_aggregate(query, raw, backend)
             return result
-        capture = StatDelta(self._raw_backend)
+        capture = StatDelta(raw)
         start = time.perf_counter_ns()
         with _span("query.aggregate", function=query.function) as root:
-            result, path = self._run_aggregate(query)
+            result, path = self._run_aggregate(query, raw, backend)
         profile = QueryProfile(
             path=path,
             function=query.function,
@@ -263,20 +287,26 @@ class QueryEngine:
             gemm_ns=root.total_ns("query.factor.gemm"),
             delta_ns=root.total_ns("query.factor.delta"),
             stream_ns=root.total_ns("query.stream.scan"),
-            backend=type(self._raw_backend).__name__,
+            backend=type(raw).__name__,
             **capture.collect(),
         )
         return replace(result, profile=profile)
 
-    def _run_aggregate(self, query: AggregateQuery) -> tuple[QueryResult, str]:
-        """Execute an aggregate; returns the result and the path taken."""
-        row_idx, col_idx = query.selection.resolve(self.shape)
+    def _run_aggregate(
+        self, query: AggregateQuery, raw, backend: _Backend
+    ) -> tuple[QueryResult, str]:
+        """Execute an aggregate against one backend snapshot.
+
+        ``raw``/``backend`` come from :meth:`_snapshot` so the whole
+        evaluation — shape resolution, fast path, and every streamed
+        chunk — sees a single backend even if :meth:`refresh` swaps the
+        engine's backend mid-query.
+        """
+        row_idx, col_idx = query.selection.resolve(backend.shape)
         if row_idx.size == 0 or col_idx.size == 0:
             raise QueryError("aggregate over an empty selection")
         if self._use_fast_path:
-            outcome = factor_aggregate(
-                self._raw_backend, row_idx, col_idx, query.function
-            )
+            outcome = factor_aggregate(raw, row_idx, col_idx, query.function)
             if outcome is not None:
                 value, rows_fetched = outcome
                 with self._stats_lock:
@@ -299,11 +329,11 @@ class QueryEngine:
         with _span("query.stream.scan", rows=int(row_idx.size)):
             for start in range(0, int(row_idx.size), _STREAM_BLOCK_ROWS):
                 chunk = row_idx[start : start + _STREAM_BLOCK_ROWS]
-                block = self._backend.block(chunk, col_idx)
+                block = backend.block(chunk, col_idx)
                 if block is None:
                     # Row-at-a-time fallback for backends without a batch form.
                     block = np.stack(
-                        [self._backend.row(int(index))[col_idx] for index in chunk]
+                        [backend.row(int(index))[col_idx] for index in chunk]
                     )
                 total += float(block.sum())
                 total_sq += float((block * block).sum())
@@ -330,18 +360,19 @@ class QueryEngine:
         """
         if isinstance(query, CellQuery):
             return {"path": "cell", "cells": 1, "estimated_row_fetches": 1}
-        row_idx, col_idx = query.selection.resolve(self.shape)
+        raw, backend = self._snapshot()
+        row_idx, col_idx = query.selection.resolve(backend.shape)
         cells = int(row_idx.size * col_idx.size)
         factor_capable = (
             self._use_fast_path
             and query.function in FACTOR_FUNCTIONS
-            and has_factor_form(self._raw_backend)
+            and has_factor_form(raw)
         )
         if factor_capable:
             fetches = (
                 0
                 if query.function == "count"
-                else factor_fetch_count(self._raw_backend, row_idx.size)
+                else factor_fetch_count(raw, row_idx.size)
             )
             return {
                 "path": "factor",

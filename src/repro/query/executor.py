@@ -107,12 +107,14 @@ class QueryExecutor:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self._engine = QueryEngine(backend, use_fast_path=use_fast_path)
         self._backend = backend
+        self._initial_backend = backend
         self._close_backend = close_backend
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query"
         )
         self._shutdown = False
         self._lock = threading.Lock()
+        self._retired_backends: list = []
         self.max_workers = workers
         _obs.gauge("executor.workers").set(workers)
 
@@ -132,8 +134,52 @@ class QueryExecutor:
                 return
             self._shutdown = True
         self._pool.shutdown(wait=wait)
-        if self._close_backend and hasattr(self._backend, "close"):
-            self._backend.close()
+        # Backends the executor opened itself (refresh() reopens) are
+        # always ours to close; the caller's original backend only when
+        # ownership was handed over via close_backend.
+        for backend in (*self._retired_backends, self._backend):
+            if backend is self._initial_backend and not self._close_backend:
+                continue
+            if hasattr(backend, "close"):
+                backend.close()
+        self._retired_backends.clear()
+
+    def refresh(self, backend=None) -> None:
+        """Start answering from a new backend snapshot.
+
+        After an incremental append
+        (:func:`repro.core.update.append_columns` /
+        :func:`~repro.core.update.append_rows`) the live executor still
+        serves the pre-append files through its open handles; call
+        ``refresh()`` to pick up the post-append state.  With no
+        argument the current backend must support ``reopen()``
+        (:class:`~repro.core.store.CompressedMatrix` does) and the
+        executor reopens the same directory; otherwise the given
+        backend is swapped in.
+
+        In-flight queries finish against the snapshot they started on
+        (the engine captures its backend once per query), so answers
+        are always wholly-old or wholly-new.  Replaced backends are
+        retired, not closed — in-flight queries may still hold them —
+        and are closed at :meth:`shutdown`.  Backends passed to
+        ``refresh()`` become executor-owned; the construction-time
+        backend keeps the ``close_backend`` ownership it was created
+        with.
+        """
+        if backend is None:
+            if not hasattr(self._backend, "reopen"):
+                raise QueryError(
+                    f"backend {type(self._backend).__name__} has no reopen(); "
+                    "pass the replacement backend explicitly"
+                )
+            backend = self._backend.reopen()
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("QueryExecutor is shut down")
+            self._retired_backends.append(self._backend)
+            self._backend = backend
+            self._engine.refresh(backend)
+        _obs.counter("executor.refreshes").inc()
 
     # -- query dispatch -------------------------------------------------
 

@@ -23,41 +23,75 @@ from repro.exceptions import ChecksumError, FormatError
 from repro.storage.atomic import atomic_write_bytes
 from repro.structures.hashtable import OpenAddressingTable
 
+#: Magic per value precision: the key is always an 8-byte packed cell
+#: id, the delta value is stored at the owning model's 'b' — float64
+#: under the original magic, float32 under the v2 magic.  Readers
+#: accept both; writers pick by ``bytes_per_value``.
 _MAGIC = b"RPRDLT01"
+_MAGIC_F32 = b"RPRDLT02"
 _HEADER_FMT = "<8sQI"  # magic, record count, crc of records
 _RECORD_FMT = "<qd"  # cell key (row*M+col), delta
 _RECORD_SIZE = struct.calcsize(_RECORD_FMT)
+_RECORD_FMT_F32 = "<qf"
+_RECORD_SIZE_F32 = struct.calcsize(_RECORD_FMT_F32)
+
+_BY_MAGIC = {
+    _MAGIC: (_RECORD_SIZE, np.dtype([("k", "<i8"), ("d", "<f8")])),
+    _MAGIC_F32: (_RECORD_SIZE_F32, np.dtype([("k", "<i8"), ("d", "<f4")])),
+}
+
+
+def _formats(bytes_per_value: int) -> tuple[bytes, str]:
+    if bytes_per_value == 8:
+        return _MAGIC, _RECORD_FMT
+    if bytes_per_value == 4:
+        return _MAGIC_F32, _RECORD_FMT_F32
+    raise FormatError(f"bytes_per_value must be 4 or 8, got {bytes_per_value}")
 
 
 class DeltaFile:
     """Reader/writer for the on-disk delta table."""
 
     @staticmethod
-    def write(path: str | os.PathLike, deltas: Iterable[tuple[int, float]]) -> int:
+    def write(
+        path: str | os.PathLike,
+        deltas: Iterable[tuple[int, float]],
+        bytes_per_value: int = 8,
+    ) -> int:
         """Serialize ``(key, delta)`` pairs to ``path``; returns record count.
 
         Records are written sorted by key so files are canonical: two
         models with the same outlier set produce byte-identical files.
         The file lands atomically (temp sibling + fsync + rename), so a
         crash mid-write never leaves a torn delta table.
+
+        Args:
+            bytes_per_value: value precision of the owning model; 4
+                stores float32 deltas in 12-byte records (the space
+                accounting's :func:`~repro.core.space.delta_record_bytes`).
         """
+        magic, record_fmt = _formats(bytes_per_value)
         records = sorted(deltas)
-        body = b"".join(struct.pack(_RECORD_FMT, key, delta) for key, delta in records)
+        body = b"".join(struct.pack(record_fmt, key, delta) for key, delta in records)
         crc = zlib.crc32(body) & 0xFFFFFFFF
-        header = struct.pack(_HEADER_FMT, _MAGIC, len(records), crc)
+        header = struct.pack(_HEADER_FMT, magic, len(records), crc)
         atomic_write_bytes(path, header + body)
         return len(records)
 
     @staticmethod
     def read_arrays(
-        path: str | os.PathLike, num_cells: int | None = None
+        path: str | os.PathLike,
+        num_cells: int | None = None,
+        expected_count: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Load a delta file as ``(keys, deltas)`` NumPy arrays.
 
         One ``frombuffer`` over the validated record body — no
         per-record Python.  Keys come back sorted (the canonical file
         order), which is exactly the form
-        :class:`~repro.core.delta_index.DeltaIndex` wants.
+        :class:`~repro.core.delta_index.DeltaIndex` wants.  Both value
+        precisions (``RPRDLT01``/float64, ``RPRDLT02``/float32) load
+        transparently; values always come back float64.
 
         Args:
             num_cells: when given (``rows * cols`` of the owning
@@ -65,11 +99,19 @@ class DeltaFile:
                 the key sequence must be strictly increasing — a record
                 that slipped past the CRC (or a buggy writer) is
                 rejected here instead of corrupting later lookups.
+            expected_count: when given, the file must hold exactly this
+                many records — catches a delta file swapped or rewritten
+                out from under its ``meta.json`` (e.g. a torn append).
         """
-        body = DeltaFile._validated_body(path)
-        records = np.frombuffer(body, dtype=np.dtype([("k", "<i8"), ("d", "<f8")]))
+        body, record_dtype = DeltaFile._validated_body(path)
+        records = np.frombuffer(body, dtype=record_dtype)
         keys = records["k"].astype(np.int64)
         deltas = records["d"].astype(np.float64)
+        if expected_count is not None and keys.size != expected_count:
+            raise FormatError(
+                f"{path}: holds {keys.size} delta records but the model "
+                f"metadata expects {expected_count} — stale or torn delta file"
+            )
         if num_cells is not None and keys.size:
             if keys.min() < 0 or keys.max() >= num_cells:
                 raise FormatError(
@@ -93,25 +135,28 @@ class DeltaFile:
         return table
 
     @staticmethod
-    def _validated_body(path: str | os.PathLike) -> bytes:
-        """The checksum-verified record bytes of a delta file."""
+    def _validated_body(path: str | os.PathLike) -> tuple[bytes, np.dtype]:
+        """The checksum-verified record bytes of a delta file, plus the
+        record dtype its magic selects."""
         raw = Path(path).read_bytes()
         header_size = struct.calcsize(_HEADER_FMT)
         if len(raw) < header_size:
             raise FormatError(f"{path}: truncated delta file")
         magic, count, crc = struct.unpack_from(_HEADER_FMT, raw)
-        if magic != _MAGIC:
+        if magic not in _BY_MAGIC:
             raise FormatError(f"{path}: bad magic {magic!r}")
-        body = raw[header_size : header_size + count * _RECORD_SIZE]
-        if len(body) != count * _RECORD_SIZE:
+        record_size, record_dtype = _BY_MAGIC[magic]
+        body = raw[header_size : header_size + count * record_size]
+        if len(body) != count * record_size:
             raise FormatError(
-                f"{path}: expected {count} records, file holds {len(body) // _RECORD_SIZE}"
+                f"{path}: expected {count} records, file holds {len(body) // record_size}"
             )
         if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
             raise ChecksumError(f"{path}: delta records failed checksum")
-        return body
+        return body, record_dtype
 
     @staticmethod
-    def size_bytes(record_count: int) -> int:
+    def size_bytes(record_count: int, bytes_per_value: int = 8) -> int:
         """On-disk size of a delta file with ``record_count`` records."""
-        return struct.calcsize(_HEADER_FMT) + record_count * _RECORD_SIZE
+        _magic, record_fmt = _formats(bytes_per_value)
+        return struct.calcsize(_HEADER_FMT) + record_count * struct.calcsize(record_fmt)

@@ -71,22 +71,37 @@ def _digest(path: Path) -> str:
     return digest.hexdigest()
 
 
-def write_manifest(directory: str | os.PathLike) -> dict:
+def write_manifest(
+    directory: str | os.PathLike, reuse: dict[str, dict] | None = None
+) -> dict:
     """Hash every regular file in ``directory`` into ``manifest.json``.
 
     Returns the manifest dict.  The manifest itself lands atomically,
     so a crash while writing it leaves the directory without a manifest
     (verification then degrades to the per-file header checks) rather
     than with a torn one.
+
+    Args:
+        reuse: prior manifest entries (``name -> {"sha256", "bytes"}``)
+            for files known to be unchanged — e.g. a multi-gigabyte
+            ``u.mat`` hardlinked into an append's staging directory.  An
+            entry is only trusted when the file's current size matches
+            its recorded ``bytes``; otherwise the file is re-hashed.
     """
     directory = Path(directory)
+    reuse = reuse or {}
     files: dict[str, dict] = {}
     for entry in sorted(directory.iterdir()):
         if not entry.is_file() or entry.name in _UNTRACKED:
             continue
+        size = entry.stat().st_size
+        known = reuse.get(entry.name)
+        if known is not None and known.get("bytes") == size and known.get("sha256"):
+            files[entry.name] = {"sha256": known["sha256"], "bytes": size}
+            continue
         files[entry.name] = {
             "sha256": _digest(entry),
-            "bytes": entry.stat().st_size,
+            "bytes": size,
         }
     manifest = {"format_version": FORMAT_VERSION, "files": files}
     atomic_write_bytes(

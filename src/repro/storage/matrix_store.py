@@ -225,6 +225,57 @@ class MatrixStore:
             pager = FilePager(path, page_size=page_size, create=False)
         return cls(pager, rows, cols, pool_capacity, dtype=_DTYPE_CODES[dtype_code])
 
+    def append_rows(self, rows: Iterable[np.ndarray]) -> int:
+        """Append rows at the end of the store, in place; returns the count.
+
+        The data bytes land first (the pager appends at the current end
+        of the data region), then the header page is rewritten with the
+        new row count and the file is fsynced — so a reader of the *old*
+        header still sees a fully consistent prefix.  The append is
+        nevertheless not crash-atomic as a whole (a crash between the
+        data append and the header rewrite leaves unreferenced tail
+        bytes whose size no longer matches any manifest); the
+        incremental-maintenance path therefore only ever appends to a
+        **staged copy** that is swapped in atomically afterwards.
+        """
+        appended = 0
+        buffer: list[bytes] = []
+        buffered = 0
+        for row in rows:
+            arr = np.ascontiguousarray(np.asarray(row, dtype=self._dtype))
+            if arr.shape != (self._cols,):
+                raise ShapeError(
+                    f"appended row {appended} has shape {arr.shape}, "
+                    f"expected ({self._cols},)"
+                )
+            buffer.append(arr.tobytes())
+            buffered += 1
+            appended += 1
+            if buffered >= _STREAM_CHUNK_ROWS:
+                self._pager.append_raw(b"".join(buffer))
+                buffer.clear()
+                buffered = 0
+        if buffer:
+            self._pager.append_raw(b"".join(buffer))
+        if appended == 0:
+            return 0
+        new_rows = self._rows + appended
+        self._pager.write_page(
+            0,
+            self._pack_header(
+                new_rows,
+                self._cols,
+                self._pager.page_size,
+                _CODES_BY_DTYPE[self._dtype],
+            ),
+        )
+        self._pager.sync()
+        self._rows = new_rows
+        # Pages at the old tail may be cached zero-padded; drop them so
+        # reads of the appended rows see the new bytes.
+        self._pool.invalidate()
+        return appended
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:

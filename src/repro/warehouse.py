@@ -35,7 +35,13 @@ _CATALOG = "catalog.json"
 
 @dataclass
 class CatalogEntry:
-    """Metadata for one warehouse dataset."""
+    """Metadata for one warehouse dataset.
+
+    ``drift`` / ``rebuild_recommended`` track incremental maintenance
+    (see :mod:`repro.core.update`); they default to the fresh-build
+    values so catalogs written before the update subsystem load
+    unchanged.
+    """
 
     name: str
     rows: int
@@ -45,6 +51,8 @@ class CatalogEntry:
     num_deltas: int
     keeps_raw: bool
     verified_rmspe: float | None = None
+    drift: float = 0.0
+    rebuild_recommended: bool = False
 
 
 class Warehouse:
@@ -106,8 +114,14 @@ class Warehouse:
         keep_raw: bool = True,
         verify: bool = True,
         compressor: SVDDCompressor | None = None,
+        bytes_per_value: int = 8,
     ) -> CatalogEntry:
         """Compress ``matrix`` into the warehouse under ``name``.
+
+        Builds through :func:`~repro.core.build.build_compressed`, so
+        every ingested model carries the persisted pass-1 state that
+        makes it appendable (:meth:`append_columns` /
+        :meth:`append_rows`) without a rescan.
 
         Args:
             name: catalog key (also the subdirectory name).
@@ -119,7 +133,11 @@ class Warehouse:
             verify: audit the model right after building and record the
                 measured RMSPE in the catalog.
             compressor: optional pre-configured compressor.
+            bytes_per_value: factor precision on disk (ignored when an
+                explicit ``compressor`` is supplied).
         """
+        from repro.core.build import build_compressed
+
         self._validate_name(name)
         if name in self._entries:
             raise DatasetError(f"dataset {name!r} already exists; drop it first")
@@ -133,10 +151,17 @@ class Warehouse:
             raw_store = MatrixStore.create(dataset_dir / "raw.mat", matrix)
             owns_raw = True
 
-        fitter = compressor or SVDDCompressor(budget_fraction=budget_fraction)
-        model = fitter.fit(raw_store)
-        compressed = CompressedMatrix.save(model, dataset_dir / "model")
+        compressed = build_compressed(
+            raw_store,
+            dataset_dir / "model",
+            budget_fraction=budget_fraction,
+            bytes_per_value=bytes_per_value,
+            compressor=compressor,
+        )
         verified = None
+        rows, cols = compressed.shape
+        cutoff = compressed.cutoff
+        num_deltas = compressed.num_deltas
         if verify:
             verified = verify_model(raw_store, compressed).rmspe
         compressed.close()
@@ -152,17 +177,64 @@ class Warehouse:
 
         entry = CatalogEntry(
             name=name,
-            rows=model.num_rows,
-            cols=model.num_cols,
-            budget_fraction=getattr(fitter, "budget_fraction", budget_fraction),
-            cutoff=model.cutoff,
-            num_deltas=model.num_deltas,
+            rows=rows,
+            cols=cols,
+            budget_fraction=getattr(compressor, "budget_fraction", budget_fraction)
+            if compressor
+            else budget_fraction,
+            cutoff=cutoff,
+            num_deltas=num_deltas,
             keeps_raw=keep_raw,
             verified_rmspe=verified,
         )
         self._entries[name] = entry
         self._save_catalog()
         return entry
+
+    # -- incremental maintenance ------------------------------------------
+
+    def _apply_append(self, name: str, result) -> CatalogEntry:
+        """Fold an :class:`~repro.core.update.AppendResult` into the catalog."""
+        entry = self._entries[name]
+        entry.rows = result.rows
+        entry.cols = result.cols
+        entry.num_deltas = result.num_deltas
+        entry.drift = result.drift
+        entry.rebuild_recommended = result.rebuild_recommended
+        # The stored RMSPE audited the pre-append model; drop it rather
+        # than report a stale figure for data it never saw.
+        entry.verified_rmspe = None
+        self._save_catalog()
+        return entry
+
+    def append_columns(self, name: str, new_cols: np.ndarray) -> CatalogEntry:
+        """Append new days to a catalogued model in place.
+
+        Runs :func:`repro.core.update.append_columns` on the dataset's
+        model directory (crash-atomic; concurrent readers keep their
+        pre-append snapshot until they reopen) and updates the catalog
+        entry — shape, outlier count, drift, and the advisory
+        ``rebuild_recommended`` flag.  The retained raw store, if any,
+        is *not* extended, so :meth:`verify` refuses to audit an
+        appended dataset until it is rebuilt from complete data.
+        """
+        from repro.core.update import append_columns as _append_columns
+
+        self.entry(name)
+        result = _append_columns(self.root / name / "model", new_cols)
+        return self._apply_append(name, result)
+
+    def append_rows(self, name: str, new_rows: np.ndarray) -> CatalogEntry:
+        """Append new customers to a catalogued model in place.
+
+        The row-wise counterpart of :meth:`append_columns`, backed by
+        :func:`repro.core.update.append_rows`.
+        """
+        from repro.core.update import append_rows as _append_rows
+
+        self.entry(name)
+        result = _append_rows(self.root / name / "model", new_rows)
+        return self._apply_append(name, result)
 
     def open(
         self, name: str, pool_capacity: int = 64, on_corrupt: str = "raise"
@@ -218,6 +290,13 @@ class Warehouse:
         raw = self.open_raw(name)
         model = self.open(name)
         try:
+            if model.shape != raw.shape:
+                raise DatasetError(
+                    f"dataset {name!r}: model shape {model.shape} no longer "
+                    f"matches the retained raw data {raw.shape} — the model "
+                    "was extended by incremental appends; re-ingest from "
+                    "complete data to audit it"
+                )
             report = verify_model(raw, model)
         finally:
             model.close()

@@ -56,17 +56,38 @@ class TestFloat32Storage:
     def test_space_accounting_uses_b(self, tmp_path, model):
         half = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)
         full = CompressedMatrix.save(model, tmp_path / "m64", bytes_per_value=8)
-        # Same k and delta count; the SVD part's bytes halve, deltas
-        # stay at their fixed record size.
+        # Same k and delta count; the SVD part's bytes halve AND each
+        # delta record drops from 16 bytes (8-byte key + float64) to 12
+        # (8-byte key + float32) — the accounting follows the disk.
         from repro.core import space
 
         diff = full.space_bytes() - half.space_bytes()
         rows, cols = full.shape
-        assert diff == space.svd_space_bytes(rows, cols, full.cutoff, 8) - (
+        svd_diff = space.svd_space_bytes(rows, cols, full.cutoff, 8) - (
             space.svd_space_bytes(rows, cols, full.cutoff, 4)
         )
+        delta_diff = full.num_deltas * (
+            space.delta_record_bytes(8) - space.delta_record_bytes(4)
+        )
+        assert full.num_deltas == half.num_deltas > 0
+        assert diff == svd_diff + delta_diff
         full.close()
         half.close()
+
+    def test_delta_file_on_disk_matches_accounting(self, tmp_path, model):
+        """Eq. 9's delta term equals the actual deltas.bin payload size."""
+        from repro.core.space import delta_record_bytes
+        from repro.storage.delta_file import DeltaFile
+
+        for b, name in ((4, "m32"), (8, "m64")):
+            store = CompressedMatrix.save(model, tmp_path / name, bytes_per_value=b)
+            on_disk = (tmp_path / name / "deltas.bin").stat().st_size
+            assert on_disk == DeltaFile.size_bytes(store.num_deltas, b)
+            # size_bytes = header + records; the accounting charges only
+            # the per-record cost, so the two agree up to the fixed header.
+            header = DeltaFile.size_bytes(0, b)
+            assert on_disk - header == store.num_deltas * delta_record_bytes(b)
+            store.close()
 
     def test_one_disk_access_preserved(self, tmp_path, model):
         store = CompressedMatrix.save(model, tmp_path / "m32", bytes_per_value=4)

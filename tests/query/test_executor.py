@@ -172,3 +172,56 @@ class TestWarehouseIntegration:
 
         with pytest.raises(OSError):
             os.fstat(backend._u_store._pager._fd)
+
+
+class TestRefresh:
+    def _appendable_model(self, tmp_path, rng):
+        data = rng.standard_normal((80, 3)) @ rng.standard_normal((3, 30))
+        directory = tmp_path / "model"
+        build_compressed(data, directory).close()
+        return directory, data
+
+    def test_refresh_picks_up_appended_columns(self, tmp_path, rng):
+        from repro.core import CompressedMatrix
+        from repro.core.update import append_columns
+
+        directory, data = self._appendable_model(tmp_path, rng)
+        backend = CompressedMatrix.open(directory)
+        with QueryExecutor(backend, max_workers=2, close_backend=True) as pool:
+            assert pool.engine.shape == (80, 30)
+            append_columns(directory, data[:, :4] * 1.5)
+            # Not refreshed yet: still the pre-append snapshot.
+            assert pool.engine.shape == (80, 30)
+            pool.refresh()
+            assert pool.engine.shape == (80, 34)
+            result = pool.submit(CellQuery(5, 33)).result()
+            assert np.isfinite(result.value)
+
+    def test_refresh_with_explicit_backend(self, tmp_path, rng):
+        from repro.core import CompressedMatrix
+
+        directory, _data = self._appendable_model(tmp_path, rng)
+        backend = CompressedMatrix.open(directory)
+        replacement = CompressedMatrix.open(directory)
+        with QueryExecutor(backend, max_workers=2, close_backend=True) as pool:
+            pool.refresh(replacement)
+            assert pool._backend is replacement
+
+    def test_refresh_requires_reopenable_backend(self, rng):
+        data = rng.standard_normal((10, 8))
+        with QueryExecutor(data, max_workers=1) as pool:
+            with pytest.raises(QueryError, match="reopen"):
+                pool.refresh()
+
+    def test_engine_refresh_swaps_snapshot(self, model):
+        """QueryEngine.refresh changes answers only for new queries."""
+        import numpy as np
+
+        engine = QueryEngine(model)
+        before = engine.cell(CellQuery(2, 3)).value
+        other = np.zeros((5, 5))
+        engine.refresh(other)
+        assert engine.shape == (5, 5)
+        assert engine.cell(CellQuery(2, 3)).value == 0.0
+        engine.refresh(model)
+        assert engine.cell(CellQuery(2, 3)).value == before

@@ -39,6 +39,65 @@ class TestRoundtrip:
         assert path.stat().st_size == DeltaFile.size_bytes(37)
 
 
+class TestFloat32Records:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "d.bin"
+        records = [(5, 1.5), (1 << 40, -2.25), (7, 0.125)]
+        assert DeltaFile.write(path, records, bytes_per_value=4) == 3
+        table = DeltaFile.read(path)
+        assert table.get(5) == 1.5  # exactly representable in float32
+        assert table.get(1 << 40) == -2.25  # keys stay full int64
+        assert table.get(7) == 0.125
+
+    def test_records_are_12_bytes(self, tmp_path):
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(i, float(i)) for i in range(50)], bytes_per_value=4)
+        header = DeltaFile.size_bytes(0, bytes_per_value=4)
+        assert path.stat().st_size == header + 50 * 12
+        assert path.stat().st_size == DeltaFile.size_bytes(50, bytes_per_value=4)
+
+    def test_values_quantized_to_float32(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "d.bin"
+        value = 1.0 + 1e-12  # not representable in float32
+        DeltaFile.write(path, [(3, value)], bytes_per_value=4)
+        assert DeltaFile.read(path).get(3) == float(np.float32(value))
+
+    def test_corruption_still_detected(self, tmp_path):
+        from repro.exceptions import ChecksumError
+
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(1, 1.0), (2, 2.0)], bytes_per_value=4)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ChecksumError):
+            DeltaFile.read(path)
+
+    def test_invalid_precision_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            DeltaFile.write(tmp_path / "d.bin", [(1, 1.0)], bytes_per_value=2)
+        with pytest.raises(FormatError):
+            DeltaFile.size_bytes(1, bytes_per_value=2)
+
+
+class TestExpectedCount:
+    def test_mismatch_rejected(self, tmp_path):
+        """A delta file whose record count disagrees with the model
+        metadata is stale (e.g. a torn append) and must not be served."""
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(i, float(i)) for i in range(10)])
+        with pytest.raises(FormatError, match="expects"):
+            DeltaFile.read_arrays(path, expected_count=12)
+
+    def test_match_accepted(self, tmp_path):
+        path = tmp_path / "d.bin"
+        DeltaFile.write(path, [(i, float(i)) for i in range(10)])
+        keys, values = DeltaFile.read_arrays(path, expected_count=10)
+        assert keys.size == values.size == 10
+
+
 class TestCorruption:
     def test_truncated_header(self, tmp_path):
         path = tmp_path / "d.bin"

@@ -337,3 +337,68 @@ class TestFsck:
         report = json.loads(capsys.readouterr().out)
         assert report["has_manifest"] is False
         assert report["opens"].startswith("error:")
+
+
+class TestAppend:
+    @pytest.fixture()
+    def appendable(self, tmp_path, rng):
+        """A built model plus .npy slabs of held-out columns and rows."""
+        data = rng.random((70, 40))
+        MatrixStore.create(tmp_path / "raw.mat", data[:60, :36]).close()
+        out = tmp_path / "model"
+        assert (
+            main(
+                [
+                    "build",
+                    "--input",
+                    str(tmp_path / "raw.mat"),
+                    "--budget",
+                    "0.20",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        np.save(tmp_path / "cols.npy", data[:60, 36:])
+        np.save(tmp_path / "rows.npy", data[60:, :])
+        return out, tmp_path
+
+    def test_append_cols_then_rows(self, appendable, capsys):
+        out, root = appendable
+        assert main(["append", str(out), "--cols", str(root / "cols.npy")]) == 0
+        assert "4 columns" in capsys.readouterr().out
+        assert main(["append", str(out), "--rows", str(root / "rows.npy")]) == 0
+        captured = capsys.readouterr().out
+        assert "10 rows" in captured
+        assert "drift:" in captured
+        with CompressedMatrix.open(out) as store:
+            assert store.shape == (70, 40)
+
+    def test_info_reports_append_state(self, appendable, capsys):
+        out, root = appendable
+        assert main(["append", str(out), "--cols", str(root / "cols.npy")]) == 0
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "appends: 1" in info
+        assert "drift" in info
+
+    def test_shape_mismatch_fails_cleanly(self, appendable, tmp_path, capsys):
+        out, _root = appendable
+        np.save(tmp_path / "bad.npy", np.ones((3, 5)))
+        code = main(["append", str(out), "--cols", str(tmp_path / "bad.npy")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_legacy_model_fails_cleanly(self, tmp_path, rng, capsys):
+        from repro.core import SVDDCompressor
+
+        model = SVDDCompressor(budget_fraction=0.2).fit(rng.random((30, 20)))
+        CompressedMatrix.save(model, tmp_path / "legacy").close()
+        np.save(tmp_path / "cols.npy", np.ones((30, 2)))
+        code = main(
+            ["append", str(tmp_path / "legacy"), "--cols", str(tmp_path / "cols.npy")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

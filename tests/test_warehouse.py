@@ -136,3 +136,60 @@ class TestCustomCompressor:
         assert not entry.keeps_raw
         with pytest.raises(DatasetError):
             warehouse.verify("lean2")
+
+
+class TestIncrementalAppend:
+    def test_append_columns_updates_catalog(self, warehouse):
+        data = phone_matrix(80)
+        warehouse.ingest("calls", data[:, :360], verify=True)
+        entry = warehouse.append_columns("calls", data[:, 360:])
+        assert (entry.rows, entry.cols) == (80, 366)
+        assert entry.num_deltas >= 0
+        assert entry.drift >= 0.0
+        # The stored audit covered the pre-append model only.
+        assert entry.verified_rmspe is None
+        model = warehouse.open("calls")
+        assert model.shape == (80, 366)
+        model.close()
+
+    def test_append_rows_updates_catalog(self, warehouse):
+        data = phone_matrix(90)
+        warehouse.ingest("calls", data[:70], verify=False)
+        entry = warehouse.append_rows("calls", data[70:])
+        assert (entry.rows, entry.cols) == (90, 366)
+        assert entry.rebuild_recommended in (False, True)
+
+    def test_catalog_survives_reopen_after_append(self, tmp_path):
+        data = phone_matrix(60)
+        warehouse = Warehouse(tmp_path / "wh")
+        warehouse.ingest("calls", data[:, :360], verify=False)
+        warehouse.append_columns("calls", data[:, 360:])
+        reopened = Warehouse(tmp_path / "wh")
+        entry = reopened.entry("calls")
+        assert entry.cols == 366
+        assert entry.drift >= 0.0
+
+    def test_verify_refuses_appended_dataset(self, warehouse):
+        data = phone_matrix(60)
+        warehouse.ingest("calls", data[:, :360])
+        warehouse.append_columns("calls", data[:, 360:])
+        with pytest.raises(DatasetError, match="re-ingest"):
+            warehouse.verify("calls")
+
+    def test_unknown_dataset_rejected(self, warehouse):
+        with pytest.raises(DatasetError):
+            warehouse.append_columns("nope", np.ones((3, 3)))
+
+    def test_pre_update_catalog_loads_with_defaults(self, tmp_path):
+        warehouse = Warehouse(tmp_path / "wh")
+        warehouse.ingest("calls", phone_matrix(40), verify=False)
+        # Strip the maintenance fields, as a catalog written before the
+        # update subsystem would lack them.
+        path = tmp_path / "wh" / "catalog.json"
+        raw = json.loads(path.read_text())
+        for record in raw["datasets"]:
+            del record["drift"], record["rebuild_recommended"]
+        path.write_text(json.dumps(raw))
+        entry = Warehouse(tmp_path / "wh").entry("calls")
+        assert entry.drift == 0.0
+        assert entry.rebuild_recommended is False
