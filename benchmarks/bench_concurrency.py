@@ -1,21 +1,28 @@
 """Concurrent serving: aggregate throughput vs worker count.
 
-The tentpole claim of the concurrency work: N threads sharing one
-``CompressedMatrix`` scale aggregate throughput, because the pager
-reads with positionless ``pread`` (no shared offset, no lock), the
-buffer pool is lock-striped, and the factor-space GEMMs release the
-GIL.  This bench measures:
+Two serving strategies over one ``CompressedMatrix``:
 
-- batch throughput at 1/2/4/8 executor workers over one shared model;
-- the single-worker regression guard: the executor at one worker must
-  stay close to a plain sequential :class:`QueryEngine` loop (the
-  thread pool must not tax the single-client case);
-- the parallel build: ``build_compressed(jobs=4)`` vs ``jobs=1`` on a
-  disk-resident source (banded pass-1 Gram + overlapped pass-3 write).
+- **threads** (``QueryExecutor``): safe shared-backend serving, but
+  Python-side dispatch serializes on the GIL, so thread throughput is
+  bounded near the sequential baseline — the bench records the curve
+  and guards against collapse, it does not claim thread scaling;
+- **processes** (``ProcessQueryExecutor``): each worker opens the
+  model itself and maps ``u.mat`` via mmap (one physical copy in page
+  cache for the whole pool), so throughput genuinely scales with
+  cores.  This is where the scaling claim lives: >2x at 4 workers,
+  asserted when the process may actually run on >=4 CPUs.
 
-Scaling assertions are gated on the machine actually having cores: on
-a single-CPU container the numbers are still recorded, but a >=2.5x
-speedup at 4 workers is only asserted when ``os.cpu_count() >= 4``.
+Also measured: the single-worker regression guard (the thread executor
+at one worker must stay close to a plain sequential
+:class:`QueryEngine` loop) and the parallel build
+(``build_compressed(jobs=4)`` vs ``jobs=1``).
+
+Scaling assertions are gated on **usable** cores —
+``usable_cpu_count()`` reads CPU affinity, so a cgroup-pinned CI
+container records the numbers without asserting a speedup the kernel
+scheduler makes impossible.  All answers (thread, process, sequential)
+are compared with ``==``: the strategies must be bit-identical, not
+approximately equal.
 """
 
 from __future__ import annotations
@@ -27,13 +34,22 @@ import numpy as np
 
 from benchmarks.conftest import emit, emit_json, format_table
 from repro.core import CompressedMatrix, SVDDCompressor, build_compressed
-from repro.query import AggregateQuery, QueryEngine, QueryExecutor, Selection
+from repro.query import (
+    AggregateQuery,
+    ProcessQueryExecutor,
+    QueryEngine,
+    QueryExecutor,
+    Selection,
+    usable_cpu_count,
+)
 from repro.storage import MatrixStore
 
 WORKER_SWEEP = (1, 2, 4, 8)
+PROC_WORKER_SWEEP = (1, 2, 4)
 QUERIES = 240
-#: Minimum speedup at 4 workers, asserted only on >=4-core machines.
-SCALING_FLOOR = 2.5
+#: Minimum process-mode speedup at 4 workers, asserted only when the
+#: affinity mask actually allows 4-way parallelism.
+PROC_SCALING_FLOOR = 2.0
 #: The executor at one worker may cost at most this slowdown factor
 #: over a plain sequential engine loop (asserted loosely: wall-clock
 #: on shared CI runners is noisy).
@@ -95,6 +111,27 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
     speedup_4 = qps_by_workers[4] / qps_by_workers[1]
     single_worker_ratio = qps_by_workers[1] / sequential_qps
 
+    # Process mode: workers map u.mat themselves; answers must stay
+    # bit-identical to the sequential loop.  Chunked submission
+    # amortizes query pickling/IPC across worker round trips.
+    usable_cpus = usable_cpu_count()
+    proc_rows = []
+    qps_proc = {}
+    for workers in PROC_WORKER_SWEEP:
+        with ProcessQueryExecutor(root / "model", max_workers=workers) as pool:
+            pool.run_batch(queries[:16])  # bootstrap workers, warm the maps
+            report = pool.run_batch(queries)
+        assert [r.value for r in report.results] == expected
+        qps_proc[workers] = report.throughput_qps
+        proc_rows.append(
+            [
+                str(workers),
+                f"{report.throughput_qps:,.0f}",
+                f"{report.throughput_qps / qps_proc[1]:.2f}x",
+            ]
+        )
+    speedup_4_proc = qps_proc[4] / qps_proc[1]
+
     # Parallel build on a disk-resident source.
     source = MatrixStore.create(root / "raw.mat", phone2000)
     start = time.perf_counter()
@@ -108,10 +145,19 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
 
     cpu_count = os.cpu_count() or 1
     lines = format_table(
-        f"Aggregate throughput vs executor workers "
-        f"({QUERIES} queries, phone2000, {cpu_count} cpus)",
+        f"Aggregate throughput vs thread workers "
+        f"({QUERIES} queries, phone2000, {cpu_count} cpus, "
+        f"{usable_cpus} usable)",
         ["workers", "queries/s", "speedup"],
         rows,
+    )
+    lines.append("")
+    lines.extend(
+        format_table(
+            "Aggregate throughput vs process workers (shared mmap model)",
+            ["workers", "queries/s", "speedup"],
+            proc_rows,
+        )
     )
     lines.append("")
     lines.append(f"sequential engine baseline: {sequential_qps:,.0f} q/s")
@@ -127,18 +173,25 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
             "dataset": "phone2000",
             "queries": QUERIES,
             "workers": list(WORKER_SWEEP),
+            "proc_workers": list(PROC_WORKER_SWEEP),
             "budget_fraction": 0.10,
             "pool_capacity": 256,
             "cpu_count": cpu_count,
+            "usable_cpus": usable_cpus,
         },
         metrics={
             **{
                 f"qps_{workers}w": round(qps, 1)
                 for workers, qps in qps_by_workers.items()
             },
+            **{
+                f"qps_{workers}w_proc": round(qps, 1)
+                for workers, qps in qps_proc.items()
+            },
             "sequential_qps": round(sequential_qps, 1),
             "single_worker_ratio": round(single_worker_ratio, 4),
             "speedup_4w": round(speedup_4, 4),
+            "speedup_4w_proc": round(speedup_4_proc, 4),
             "build_s_jobs1": round(build_s_jobs1, 4),
             "build_s_jobs4": round(build_s_jobs4, 4),
             "build_speedup": round(build_speedup, 4),
@@ -149,11 +202,13 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
     # shared runners are noisy; the structural single-thread guard is
     # the storage suite's exact-semantics tests.)
     assert single_worker_ratio >= SINGLE_WORKER_OVERHEAD_FLOOR
-    # Scaling claim, only meaningful with real cores under the threads.
-    if cpu_count >= 4:
-        assert speedup_4 >= SCALING_FLOOR
+    # The scaling claim lives in process mode: thread dispatch
+    # serializes on the GIL, so threads only get a no-collapse guard.
+    if usable_cpus >= 4:
+        assert speedup_4_proc >= PROC_SCALING_FLOOR
     # More workers must never corrupt results or collapse throughput.
     assert qps_by_workers[8] >= qps_by_workers[1] * 0.5
+    assert qps_proc[4] >= qps_proc[1] * 0.5
 
     store = CompressedMatrix.open(root / "model", pool_capacity=256)
     with QueryExecutor(store, max_workers=4) as pool:

@@ -64,8 +64,19 @@ def emit_json(name: str, params: dict, metrics: dict) -> None:
     Writes ``benchmarks/results/BENCH_<name>.json`` with the git sha,
     UTC timestamp, ``params`` (workload knobs) and ``metrics``
     (measured numbers) — see :mod:`repro.obs.bench` for the schema.
+
+    Every numeric metric must be finite: an ``inf``/``nan`` (e.g. a
+    throughput computed from a wall time that rounded to zero) poisons
+    every ratio the trajectory tooling derives from the record, so it
+    is rejected at the source instead of surfacing downstream.
     """
+    import math
+
     from repro.obs.bench import write_bench_json
+
+    for key, value in metrics.items():
+        if isinstance(value, (int, float)) and not math.isfinite(value):
+            raise AssertionError(f"metric {key!r} is not finite: {value!r}")
 
     path = write_bench_json(RESULTS_DIR, name, params=params, metrics=metrics)
     print(f"[bench] wrote {path}")

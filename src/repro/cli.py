@@ -11,6 +11,9 @@ Gives the library the operational surface a deployed system would have:
 - ``cell``    — reconstruct one cell, reporting the disk accesses used;
 - ``aggregate`` — run an aggregate query over row/column ranges;
 - ``query``   — run a textual query ('avg() rows 0:100 cols 7:14');
+- ``batch``   — run a file of queries through a concurrent executor
+  (``--mode sequential|thread|process``; process mode serves from
+  worker processes sharing the model through mmap);
 - ``stats``   — run a random-cell workload with telemetry enabled and
   dump the metrics registry (pool/pager counters, span timings) as JSON;
 - ``fsck``    — verify a model directory against its integrity manifest
@@ -222,6 +225,67 @@ def cmd_query(args) -> int:
         print(f"cells touched: {result.cells_touched}")
         if result.profile is not None:
             print(result.profile.to_json())
+    return 0
+
+
+def cmd_batch(args) -> int:
+    """Handle ``repro batch``: run many queries through an executor.
+
+    Queries come from ``--file`` (one textual query per line; blank
+    lines and ``#`` comments skipped) and/or repeated ``--query`` flags.
+    ``--mode`` picks the serving strategy: ``sequential`` (one engine,
+    the baseline), ``thread`` (shared-backend thread pool), or
+    ``process`` (worker processes sharing ``u.mat`` through mmap — the
+    mode that scales past the GIL on multi-core hosts).
+    """
+    import time
+
+    from repro.query import BatchReport
+    from repro.query.executor import batch_throughput, coerce_query
+
+    texts: list[str] = []
+    if args.file:
+        for line in Path(args.file).read_text().splitlines():
+            line = line.strip()
+            if line and not line.startswith("#"):
+                texts.append(line)
+    texts.extend(args.query or [])
+    if not texts:
+        print("error: no queries given (use --file and/or --query)", file=sys.stderr)
+        return 1
+    if args.mode == "process":
+        from repro.query import ProcessQueryExecutor
+
+        with ProcessQueryExecutor(args.model, max_workers=args.workers) as pool:
+            report = pool.run_batch(texts, chunksize=args.chunksize)
+    elif args.mode == "thread":
+        from repro.query import QueryExecutor
+
+        backend = CompressedMatrix.open(args.model)
+        with QueryExecutor(
+            backend, max_workers=args.workers, close_backend=True
+        ) as pool:
+            report = pool.run_batch(texts)
+    else:
+        with CompressedMatrix.open(args.model) as store:
+            engine = QueryEngine(store)
+            start = time.perf_counter()
+            results = [engine.execute(coerce_query(text)) for text in texts]
+            wall = time.perf_counter() - start
+        report = BatchReport(
+            results=results,
+            queries=len(texts),
+            workers=1,
+            wall_s=wall,
+            throughput_qps=batch_throughput(len(texts), wall),
+        )
+    for text, result in zip(texts, report.results):
+        print(f"{text} = {result.value:.6g}")
+    print(
+        f"# {report.queries} queries, {report.workers} worker(s) "
+        f"[{args.mode}], {report.wall_s:.3f}s, "
+        f"{report.throughput_qps:.1f} qps"
+    )
     return 0
 
 
@@ -461,6 +525,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true", help="print the QueryProfile as JSON"
     )
     query.set_defaults(func=cmd_query)
+
+    batch = sub.add_parser(
+        "batch", help="run a batch of queries through a concurrent executor"
+    )
+    batch.add_argument("model", help="model directory")
+    batch.add_argument(
+        "--file", help="file of textual queries, one per line ('#' comments)"
+    )
+    batch.add_argument(
+        "--query",
+        action="append",
+        help="inline textual query (repeatable)",
+    )
+    batch.add_argument(
+        "--mode",
+        choices=("sequential", "thread", "process"),
+        default="thread",
+        help="serving strategy (default: thread)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: auto)"
+    )
+    batch.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="queries per worker round trip (process mode; default: auto)",
+    )
+    batch.set_defaults(func=cmd_batch)
 
     stats = sub.add_parser(
         "stats", help="profiled random-cell workload + metrics registry dump"

@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -76,6 +77,13 @@ _REQUIRED_META_KEYS = ("kind", "rows", "cols", "cutoff", "num_deltas")
 #: Files the store cannot answer any query without; corruption here is
 #: fatal even under ``on_corrupt="degraded"``.
 _CRITICAL_FILES = (_U_NAME, _LAMBDA_NAME, _V_NAME)
+
+#: An ``open()`` racing a crash-atomic append's rename swap can read a
+#: mix of old- and new-generation files, which the integrity checks
+#: reject; the open retries briefly against the settled directory.  A
+#: swap is two renames, so one short wait is nearly always enough.
+_SWAP_RETRY_ATTEMPTS = 3
+_SWAP_RETRY_DELAY_S = 0.01
 
 
 def _u_columns(cutoff: int, item_size: int) -> int:
@@ -267,6 +275,7 @@ class CompressedMatrix:
         directory: str | os.PathLike,
         pool_capacity: int = 64,
         on_corrupt: str = "raise",
+        mapped: bool = False,
     ) -> "CompressedMatrix":
         """Open a previously saved model; V/Lambda/deltas load into memory.
 
@@ -285,12 +294,58 @@ class CompressedMatrix:
                 registry counter and emit a ``store.degraded_open``
                 structured log event; the factor files are always
                 verified and always fatal when corrupt.
+            mapped: read ``u.mat`` through a read-only ``mmap`` view
+                instead of a buffer pool.  Every process mapping the
+                same model shares the kernel's page-cache pages, which
+                is what lets N worker processes serve queries over one
+                copy of the model in memory
+                (:class:`~repro.query.process_executor.ProcessQueryExecutor`).
+
+        Opening is safe against a concurrent crash-atomic append: the
+        incremental-update path replaces the whole model directory with
+        a ``rename()`` swap, so an ``open()`` that straddles the swap
+        can read ``meta.json`` from the old directory and ``deltas.bin``
+        from the new one — a mix the integrity checks correctly reject.
+        ``open()`` detects that case (the directory inode changed under
+        the failed attempt) and retries against the settled directory;
+        a validation failure with a *stable* inode is genuine corruption
+        and raises immediately.
         """
         if on_corrupt not in ("raise", "degraded"):
             raise ConfigurationError(
                 f"on_corrupt must be 'raise' or 'degraded', got {on_corrupt!r}"
             )
         directory = Path(directory)
+        for _attempt in range(_SWAP_RETRY_ATTEMPTS):
+            identity = cls._dir_identity(directory)
+            try:
+                return cls._open_once(directory, pool_capacity, on_corrupt, mapped)
+            except (ReproError, FileNotFoundError):
+                if identity is not None and cls._dir_identity(directory) == identity:
+                    raise
+                # The directory was swapped (or is mid-swap) underneath
+                # this attempt; wait out the rename and try again.
+                time.sleep(_SWAP_RETRY_DELAY_S)
+        return cls._open_once(directory, pool_capacity, on_corrupt, mapped)
+
+    @staticmethod
+    def _dir_identity(directory: Path) -> tuple[int, int] | None:
+        """The directory's ``(device, inode)``, or None while absent
+        (the instant between an atomic swap's two renames)."""
+        try:
+            stat = os.stat(directory)
+        except OSError:
+            return None
+        return (stat.st_dev, stat.st_ino)
+
+    @classmethod
+    def _open_once(
+        cls,
+        directory: Path,
+        pool_capacity: int,
+        on_corrupt: str,
+        mapped: bool,
+    ) -> "CompressedMatrix":
         meta = cls._load_meta(directory)
         degraded_reasons: list[str] = []
         try:
@@ -306,7 +361,9 @@ class CompressedMatrix:
                 raise FormatError(f"{directory}: missing {name}")
             cls._manifest_size_check(directory, manifest_files, name)
 
-        u_store = MatrixStore.open(directory / _U_NAME, pool_capacity=pool_capacity)
+        u_store = MatrixStore.open(
+            directory / _U_NAME, pool_capacity=pool_capacity, mapped=mapped
+        )
         try:
             bytes_per_value = int(meta.get("bytes_per_value", 8))
             # Pinned factors are upcast for computation; precision loss
@@ -340,7 +397,7 @@ class CompressedMatrix:
             raise FormatError(f"{directory}: failed to load model: {exc}") from exc
         store = cls(u_store, eigenvalues, v, deltas, bloom, directory, zero_rows)
         store._bytes_per_value = bytes_per_value
-        store._open_options = (pool_capacity, on_corrupt)
+        store._open_options = (pool_capacity, on_corrupt, mapped)
         if degraded_reasons:
             store._degraded_reasons = tuple(degraded_reasons)
             _obs.counter("store.degraded_opens").inc()
@@ -442,13 +499,16 @@ class CompressedMatrix:
         model directory via rename, so an already-open store keeps
         serving its pre-append snapshot through the old file handles;
         ``reopen()`` is how a long-lived server picks up the post-append
-        state.  Uses the same pool capacity and corruption policy this
-        store was opened with.  The caller owns both stores — close the
-        old one once its in-flight queries drain.
+        state.  Uses the same pool capacity, corruption policy, and
+        mapping mode this store was opened with.  The caller owns both
+        stores — close the old one once its in-flight queries drain.
         """
-        pool_capacity, on_corrupt = self._open_options
+        pool_capacity, on_corrupt, mapped = self._open_options
         return type(self).open(
-            self._directory, pool_capacity=pool_capacity, on_corrupt=on_corrupt
+            self._directory,
+            pool_capacity=pool_capacity,
+            on_corrupt=on_corrupt,
+            mapped=mapped,
         )
 
     def close(self) -> None:
@@ -493,6 +553,11 @@ class CompressedMatrix:
         return self._directory
 
     @property
+    def mapped(self) -> bool:
+        """True when ``u.mat`` reads go through the shared mmap view."""
+        return self._u_store.mapped
+
+    @property
     def u_pool_stats(self):
         """Buffer-pool counters of the U store — the 'disk accesses'."""
         return self._u_store.pool_stats
@@ -505,9 +570,9 @@ class CompressedMatrix:
     #: On-disk precision of the factor matrices ('b' in the accounting).
     _bytes_per_value: int = 8
 
-    #: ``(pool_capacity, on_corrupt)`` this store was opened with, so
-    #: :meth:`reopen` can reproduce the open after an append.
-    _open_options: tuple[int, str] = (64, "raise")
+    #: ``(pool_capacity, on_corrupt, mapped)`` this store was opened
+    #: with, so :meth:`reopen` can reproduce the open after an append.
+    _open_options: tuple[int, str, bool] = (64, "raise", False)
 
     #: Validation failures absorbed by ``open(on_corrupt="degraded")``.
     _degraded_reasons: tuple[str, ...] = ()

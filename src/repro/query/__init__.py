@@ -22,8 +22,15 @@ SVDD for aggregate queries').
 
 from repro.query.calendar import month_columns, week_columns, weekday_columns, weekend_columns
 from repro.query.engine import CellQuery, AggregateQuery, QueryEngine, QueryResult
-from repro.query.executor import BatchReport, QueryExecutor
+from repro.query.executor import (
+    BatchReport,
+    QueryExecutor,
+    batch_throughput,
+    coerce_query,
+    usable_cpu_count,
+)
 from repro.query.groupby import column_totals, row_totals, top_rows
+from repro.query.process_executor import ProcessQueryExecutor
 from repro.query.parser import format_query, parse_query
 from repro.query.sampling import UniformSamplingEstimator
 from repro.query.selection import Selection
@@ -52,9 +59,13 @@ __all__ = [
     "similar_to_vector",
     "BatchReport",
     "CellQuery",
+    "ProcessQueryExecutor",
     "QueryEngine",
     "QueryExecutor",
     "QueryResult",
+    "batch_throughput",
+    "coerce_query",
+    "usable_cpu_count",
     "Selection",
     "UniformSamplingEstimator",
     "random_aggregate_queries",

@@ -192,6 +192,23 @@ class QueryEngine:
         """Shape of the matrix being queried."""
         return self._backend.shape
 
+    def execute(self, query: "CellQuery | AggregateQuery | tuple") -> QueryResult:
+        """Answer any engine query object by dispatching on its type.
+
+        The single entry point the executors (thread- and process-based)
+        and the CLI batch runner share: :class:`CellQuery` and ``(row,
+        col)`` tuples go to :meth:`cell`, :class:`AggregateQuery` to
+        :meth:`aggregate`.
+        """
+        if isinstance(query, (CellQuery, tuple)):
+            return self.cell(query)
+        if isinstance(query, AggregateQuery):
+            return self.aggregate(query)
+        raise QueryError(
+            f"unsupported query type {type(query).__name__}: expected "
+            "CellQuery, AggregateQuery, or (row, col)"
+        )
+
     def cell(self, query: CellQuery | tuple[int, int]) -> QueryResult:
         """Answer a single-cell query.
 

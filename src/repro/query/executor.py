@@ -46,7 +46,13 @@ from repro.obs.registry import registry as _obs
 from repro.query.engine import AggregateQuery, CellQuery, QueryEngine, QueryResult
 from repro.query.parser import parse_query
 
-__all__ = ["BatchReport", "QueryExecutor"]
+__all__ = [
+    "BatchReport",
+    "QueryExecutor",
+    "batch_throughput",
+    "coerce_query",
+    "usable_cpu_count",
+]
 
 #: Upper bound on the default worker count: query work is a mix of
 #: GIL-releasing kernels and page I/O, so a couple of threads beyond
@@ -56,8 +62,61 @@ _DEFAULT_MAX_WORKERS = 8
 Query = "CellQuery | AggregateQuery | tuple | str"
 
 
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine, not the schedulable set —
+    in a cgroup-limited CI container it happily says 16 while the
+    process is pinned to one core.  CPU affinity
+    (``os.sched_getaffinity``) reflects the real ceiling on parallel
+    speedup, so default pool sizes and the benchmark's scaling gates
+    use it, falling back to ``cpu_count`` on platforms without
+    affinity support.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def _default_workers() -> int:
-    return max(1, min(_DEFAULT_MAX_WORKERS, (os.cpu_count() or 1) + 2))
+    return max(1, min(_DEFAULT_MAX_WORKERS, usable_cpu_count() + 2))
+
+
+def batch_throughput(queries: int, wall_s: float) -> float:
+    """Queries per second, finite by construction.
+
+    A batch so small that ``wall_s`` underflows the timer's resolution
+    used to report ``inf``, which then poisoned every ratio computed
+    from BENCH_concurrency records; clamp to 0.0 instead — an
+    unmeasurably fast batch carries no throughput information.
+    """
+    if wall_s <= 0.0:
+        return 0.0
+    return queries / wall_s
+
+
+def coerce_query(query):
+    """Normalize the accepted query forms to engine query objects.
+
+    The shared front door of both executors: :class:`CellQuery` /
+    :class:`AggregateQuery` pass through, query text goes through
+    :func:`~repro.query.parser.parse_query`, and ``(row, col)`` tuples
+    become cell queries.
+    """
+    if isinstance(query, (CellQuery, AggregateQuery)):
+        return query
+    if isinstance(query, str):
+        return parse_query(query)
+    if isinstance(query, tuple) and len(query) == 2:
+        return CellQuery(int(query[0]), int(query[1]))
+    raise QueryError(
+        f"unsupported query form {type(query).__name__}: expected "
+        "CellQuery, AggregateQuery, (row, col), or query text"
+    )
 
 
 @dataclass(frozen=True)
@@ -65,8 +124,9 @@ class BatchReport:
     """Outcome of :meth:`QueryExecutor.run_batch`.
 
     ``results`` preserves submission order.  ``throughput_qps`` is
-    queries divided by wall time, the figure the concurrency benchmark
-    plots against worker count.
+    queries divided by wall time (0.0 when the wall time rounds to
+    zero — never ``inf``), the figure the concurrency benchmark plots
+    against worker count.
     """
 
     results: list = field(repr=False)
@@ -115,6 +175,7 @@ class QueryExecutor:
         self._shutdown = False
         self._lock = threading.Lock()
         self._retired_backends: list = []
+        self._closer: threading.Thread | None = None
         self.max_workers = workers
         _obs.gauge("executor.workers").set(workers)
 
@@ -127,16 +188,48 @@ class QueryExecutor:
         self.shutdown()
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work, drain the pool, optionally close the
-        backend (idempotent)."""
+        """Stop accepting work, drain the pool, then close owned
+        backends (idempotent).
+
+        With ``wait=False`` the call returns immediately, but the
+        backends (current *and* retired) are **not** closed until the
+        pool has actually drained: in-flight worker threads may still
+        be reading from them, and closing the page file under a live
+        query turns a graceful drain into spurious
+        ``StoreClosedError``/``OSError`` answers.  A daemon closer
+        thread waits out the drain and performs the close.
+        """
         with self._lock:
             if self._shutdown:
                 return
             self._shutdown = True
-        self._pool.shutdown(wait=wait)
-        # Backends the executor opened itself (refresh() reopens) are
-        # always ours to close; the caller's original backend only when
-        # ownership was handed over via close_backend.
+        if wait:
+            self._pool.shutdown(wait=True)
+            self._close_backends()
+            return
+        self._pool.shutdown(wait=False)
+        # Defer the close until the last in-flight query finishes;
+        # ThreadPoolExecutor.shutdown(wait=True) is idempotent and only
+        # joins here, so this blocks exactly until the drain completes.
+        closer = threading.Thread(
+            target=self._drain_then_close,
+            name="repro-query-closer",
+            daemon=True,
+        )
+        self._closer = closer
+        closer.start()
+
+    def _drain_then_close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self._close_backends()
+
+    def _close_backends(self) -> None:
+        """Close executor-owned backends after the pool has drained.
+
+        Backends the executor opened itself (refresh() reopens) are
+        always ours to close; the caller's original backend only when
+        ownership was handed over via close_backend.
+        """
         for backend in (*self._retired_backends, self._backend):
             if backend is self._initial_backend and not self._close_backend:
                 continue
@@ -191,9 +284,18 @@ class QueryExecutor:
     def submit(self, query) -> "Future[QueryResult]":
         """Schedule one query; returns a future of its
         :class:`~repro.query.engine.QueryResult`."""
-        if self._shutdown:
-            raise RuntimeError("QueryExecutor is shut down")
-        return self._pool.submit(self._run_one, self._coerce(query))
+        coerced = self._coerce(query)
+        # The shutdown check and the pool submit must be one atomic
+        # step: an unlocked check could pass just as shutdown() flips
+        # the flag, scheduling work onto a closing pool whose backends
+        # are about to be released.  shutdown() sets the flag under
+        # this same lock, so any submit that wins the race has its
+        # task enqueued before the pool stops, and the deferred
+        # backend close waits for it to drain.
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("QueryExecutor is shut down")
+            return self._pool.submit(self._run_one, coerced)
 
     def map(self, queries) -> list:
         """Run ``queries`` across the pool; results in submission order.
@@ -216,33 +318,21 @@ class QueryExecutor:
             queries=len(items),
             workers=self.max_workers,
             wall_s=wall,
-            throughput_qps=len(items) / wall if wall > 0 else float("inf"),
+            throughput_qps=batch_throughput(len(items), wall),
         )
 
     # -- internals ------------------------------------------------------
 
     def _coerce(self, query):
         """Normalize the accepted query forms to engine query objects."""
-        if isinstance(query, (CellQuery, AggregateQuery)):
-            return query
-        if isinstance(query, str):
-            return parse_query(query)
-        if isinstance(query, tuple) and len(query) == 2:
-            return CellQuery(int(query[0]), int(query[1]))
-        raise QueryError(
-            f"unsupported query form {type(query).__name__}: expected "
-            "CellQuery, AggregateQuery, (row, col), or query text"
-        )
+        return coerce_query(query)
 
     def _run_one(self, query) -> QueryResult:
         """Worker body: execute one query with in-flight accounting."""
         gauge = _obs.gauge("executor.concurrency")
         gauge.add(1.0)
         try:
-            if isinstance(query, CellQuery):
-                result = self._engine.cell(query)
-            else:
-                result = self._engine.aggregate(query)
+            result = self._engine.execute(query)
             _obs.counter("executor.queries").inc()
             return result
         finally:

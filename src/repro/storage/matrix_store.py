@@ -22,6 +22,7 @@ starting at the second page.
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
 import struct
 import threading
@@ -71,6 +72,15 @@ class MatrixStore:
     threads may call :meth:`row`, :meth:`read_rows`, :meth:`cell`, or
     run independent :meth:`iter_rows` iterators over disjoint bands
     concurrently on one open store.
+
+    ``open(mapped=True)`` replaces the buffer-pool read path with a
+    read-only ``mmap`` of the data region exposed as a zero-copy NumPy
+    view: row gathers index straight into the mapping, so the kernel's
+    page cache is the only cache and the physical pages are **shared
+    across processes** that map the same file — the memory model the
+    multiprocess query executor relies on.  A mapped store is a
+    read-only snapshot of the file at open time; :meth:`append_rows`
+    refuses to run on one.
     """
 
     def __init__(
@@ -80,6 +90,7 @@ class MatrixStore:
         cols: int,
         pool_capacity: int,
         dtype: np.dtype = np.dtype(np.float64),
+        mapped: bool = False,
     ) -> None:
         self._pager = pager
         self._rows = rows
@@ -90,6 +101,41 @@ class MatrixStore:
         self._data_offset = pager.page_size
         self._pass_count = 0
         self._pass_lock = threading.Lock()
+        self._mm: _mmap.mmap | None = None
+        self._view: np.ndarray | None = None
+        if mapped:
+            self._map_data()
+
+    def _map_data(self) -> None:
+        """Map the data region read-only as one ``(rows, cols)`` view.
+
+        The mapping covers the whole file (offset arithmetic happens in
+        ``frombuffer``), is private to no one — ``MAP_SHARED`` semantics
+        of ``ACCESS_READ`` mean every process mapping this file shares
+        the same physical page-cache pages — and outlives the pager's
+        file descriptor.
+        """
+        needed = self._data_offset + self._rows * self._cols * self._item
+        size = os.fstat(self._pager.fileno()).st_size
+        if size < needed:
+            raise FormatError(
+                f"{self._pager.path}: file holds {size} bytes but the "
+                f"header promises {needed} — truncated store cannot be mapped"
+            )
+        self._mm = _mmap.mmap(
+            self._pager.fileno(), 0, access=_mmap.ACCESS_READ
+        )
+        self._view = np.frombuffer(
+            self._mm,
+            dtype=self._dtype,
+            count=self._rows * self._cols,
+            offset=self._data_offset,
+        ).reshape(self._rows, self._cols)
+
+    @property
+    def mapped(self) -> bool:
+        """True when reads go through the zero-copy ``mmap`` view."""
+        return self._view is not None
 
     # -- construction -----------------------------------------------------
 
@@ -198,8 +244,15 @@ class MatrixStore:
         cls,
         path: str | os.PathLike,
         pool_capacity: int = 64,
+        mapped: bool = False,
     ) -> "MatrixStore":
-        """Open an existing store, validating its header."""
+        """Open an existing store, validating its header.
+
+        Args:
+            mapped: serve reads from a read-only ``mmap`` of the data
+                region instead of the buffer pool (see the class
+                docstring).  The store becomes a read-only snapshot.
+        """
         pager = FilePager(path, page_size=PAGE_SIZE_DEFAULT, create=False)
         raw = pager.read_page(0)
         try:
@@ -223,7 +276,18 @@ class MatrixStore:
             # Re-open with the stored page size.
             pager.close()
             pager = FilePager(path, page_size=page_size, create=False)
-        return cls(pager, rows, cols, pool_capacity, dtype=_DTYPE_CODES[dtype_code])
+        try:
+            return cls(
+                pager,
+                rows,
+                cols,
+                pool_capacity,
+                dtype=_DTYPE_CODES[dtype_code],
+                mapped=mapped,
+            )
+        except BaseException:
+            pager.close()
+            raise
 
     def append_rows(self, rows: Iterable[np.ndarray]) -> int:
         """Append rows at the end of the store, in place; returns the count.
@@ -238,6 +302,12 @@ class MatrixStore:
         incremental-maintenance path therefore only ever appends to a
         **staged copy** that is swapped in atomically afterwards.
         """
+        if self.mapped:
+            raise ConfigurationError(
+                f"{self.path}: cannot append to a store opened with "
+                "mapped=True — the mmap view is a fixed-size read-only "
+                "snapshot; append through a pooled open instead"
+            )
         appended = 0
         buffer: list[bytes] = []
         buffered = 0
@@ -279,7 +349,13 @@ class MatrixStore:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Close the backing file (idempotent)."""
+        """Close the backing file and release any mapping (idempotent)."""
+        if self._mm is not None:
+            # Drop the NumPy view first: mmap.close() raises BufferError
+            # while exported buffers are alive.
+            self._view = None
+            self._mm.close()
+            self._mm = None
         self._pager.close()
 
     def __enter__(self) -> "MatrixStore":
@@ -350,9 +426,14 @@ class MatrixStore:
         return self._data_offset + index * self._cols * self._item
 
     def row(self, index: int) -> np.ndarray:
-        """Read one row through the buffer pool."""
+        """Read one row through the buffer pool (or the mmap view)."""
         if not 0 <= index < self._rows:
             raise QueryError(f"row {index} out of range [0, {self._rows})")
+        if self._view is not None:
+            # The copy keeps row() returning a writable float64 array;
+            # the page itself is only ever touched through the shared
+            # mapping, never duplicated into a per-process pool.
+            return self._view[index].astype(np.float64)
         raw = read_span(self._pool, self._row_offset(index), self._cols * self._item)
         return np.frombuffer(raw, dtype=self._dtype).astype(np.float64)
 
@@ -383,6 +464,11 @@ class MatrixStore:
                 f"row selection outside [0, {self._rows}): "
                 f"[{idx.min()}, {idx.max()}]"
             )
+        if self._view is not None:
+            # One fancy-indexed gather straight out of the mapping; the
+            # only copy is the gather output itself.
+            gathered = self._view[idx]
+            return gathered.astype(np.float64, copy=False)
         row_bytes = self._cols * self._item
         page_size = self._pager.page_size
         offsets = self._data_offset + idx * row_bytes
@@ -427,6 +513,8 @@ class MatrixStore:
             raise QueryError(f"row {row} out of range [0, {self._rows})")
         if not 0 <= col < self._cols:
             raise QueryError(f"col {col} out of range [0, {self._cols})")
+        if self._view is not None:
+            return float(self._view[row, col])
         offset = self._row_offset(row) + col * self._item
         raw = read_span(self._pool, offset, self._item)
         return float(np.frombuffer(raw, dtype=self._dtype)[0])
@@ -451,8 +539,13 @@ class MatrixStore:
         index = start
         while index < stop:
             chunk = min(_STREAM_CHUNK_ROWS, stop - index)
-            raw = self._read_raw(self._row_offset(index), chunk * row_bytes)
-            block = np.frombuffer(raw, dtype=self._dtype).reshape(chunk, self._cols)
+            if self._view is not None:
+                block = self._view[index : index + chunk]
+            else:
+                raw = self._read_raw(self._row_offset(index), chunk * row_bytes)
+                block = np.frombuffer(raw, dtype=self._dtype).reshape(
+                    chunk, self._cols
+                )
             for local in range(chunk):
                 yield index + local, block[local].astype(np.float64)
             index += chunk

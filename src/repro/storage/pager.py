@@ -205,6 +205,17 @@ class FilePager:
         if self._closed:
             raise StoreClosedError(f"pager for {self.path} is closed")
 
+    def fileno(self) -> int:
+        """The underlying file descriptor (for ``mmap``-based readers).
+
+        A memory mapping created over this descriptor stays valid after
+        the pager is closed — ``mmap(2)`` holds its own reference to the
+        file — so callers may map once at open time and keep the view
+        for the life of the mapping object.
+        """
+        self._require_open()
+        return self._fd
+
     # -- geometry ---------------------------------------------------------
 
     def num_pages(self) -> int:

@@ -206,3 +206,47 @@ class TestHandleHygiene:
             with pytest.raises(FormatError):
                 CompressedMatrix.open(directory)
         assert len(os.listdir(fd_dir)) <= before + 2
+
+
+class TestOpenVsSwapRace:
+    """open() racing a crash-atomic append's directory rename swap."""
+
+    def test_open_retries_after_concurrent_swap(self, saved, monkeypatch):
+        """A failed attempt whose directory inode changed underneath it
+        (the append swapped the whole directory) must retry and open the
+        settled post-swap model instead of surfacing FormatError."""
+        import shutil
+
+        directory, _ = saved
+        replacement = directory.with_name("model.next")
+        shutil.copytree(directory, replacement)
+        real_open_once = CompressedMatrix._open_once.__func__
+        calls = {"count": 0}
+
+        def racy_open_once(cls, path, pool_capacity, on_corrupt, mapped):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                # Mid-open swap: old directory renamed away, staged
+                # replacement renamed in (exactly commit_staged's dance),
+                # then the attempt sees torn state.
+                trash = directory.with_name("model.trash")
+                os.rename(directory, trash)
+                os.rename(replacement, directory)
+                shutil.rmtree(trash)
+                raise FormatError(f"{path}: torn mid-swap read")
+            return real_open_once(cls, path, pool_capacity, on_corrupt, mapped)
+
+        monkeypatch.setattr(
+            CompressedMatrix, "_open_once", classmethod(racy_open_once)
+        )
+        store = CompressedMatrix.open(directory)
+        store.close()
+        assert calls["count"] == 2  # one failed attempt, one retry
+
+    def test_stable_directory_raises_immediately(self, saved):
+        """A validation failure without a swap is genuine corruption:
+        no retries, the error surfaces on the first attempt."""
+        directory, _ = saved
+        _truncate(directory / "v.npy")
+        with pytest.raises((FormatError, ChecksumError)):
+            CompressedMatrix.open(directory)

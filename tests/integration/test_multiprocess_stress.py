@@ -1,0 +1,108 @@
+"""Multiprocess serving stress: many workers, bit-identical answers.
+
+The CI-facing guarantee of the process executor: a pool of 8 worker
+processes, each with its own mmap of ``u.mat``, answers a mixed
+workload *bit-identically* to a single sequential engine — across
+chunked dispatch, interleaved batches, and a mid-run refresh.  Equality
+is ``==`` on floats, not approx: the workers run the same engine code
+over the same bytes, so there is nothing to be tolerant about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedMatrix, build_compressed
+from repro.query import (
+    AggregateQuery,
+    CellQuery,
+    ProcessQueryExecutor,
+    QueryEngine,
+    Selection,
+)
+from repro.query.executor import coerce_query
+
+WORKERS = 8
+QUERIES = 96
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    rng = np.random.default_rng(991)
+    data = rng.standard_normal((300, 3)) @ rng.standard_normal((3, 60))
+    data[17, 5] += 200.0  # a delta-corrected outlier in the workload
+    directory = tmp_path_factory.mktemp("mpstress") / "model"
+    build_compressed(data, directory, budget_fraction=0.10).close()
+    return directory
+
+
+def _workload(shape, count=QUERIES, seed=13):
+    rng = np.random.default_rng(seed)
+    rows, cols = shape
+    queries = []
+    for index in range(count):
+        kind = index % 4
+        if kind == 0:
+            r0, r1 = sorted(rng.integers(0, rows, size=2).tolist())
+            c0, c1 = sorted(rng.integers(0, cols, size=2).tolist())
+            function = ("sum", "avg", "stddev", "count", "min", "max")[index % 6]
+            queries.append(
+                AggregateQuery(
+                    function,
+                    Selection(rows=range(r0, r1 + 1), cols=range(c0, c1 + 1)),
+                )
+            )
+        elif kind == 1:
+            queries.append(CellQuery(17, 5))  # the outlier cell, repeatedly
+        else:
+            queries.append(
+                (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+            )
+    return queries
+
+
+def _sequential(model_dir, queries):
+    with CompressedMatrix.open(model_dir) as store:
+        engine = QueryEngine(store)
+        return [engine.execute(coerce_query(query)).value for query in queries]
+
+
+def test_eight_workers_bit_identical_to_sequential(model_dir):
+    queries = _workload((300, 60))
+    expected = _sequential(model_dir, queries)
+    with ProcessQueryExecutor(model_dir, max_workers=WORKERS) as pool:
+        for chunksize in (1, 4, 16):
+            results = pool.map(queries, chunksize=chunksize)
+            assert [r.value for r in results] == expected
+        report = pool.run_batch(queries)
+        assert [r.value for r in report.results] == expected
+        assert np.isfinite(report.throughput_qps)
+
+
+def test_interleaved_submits_under_load(model_dir):
+    queries = _workload((300, 60), count=40, seed=29)
+    expected = _sequential(model_dir, queries)
+    with ProcessQueryExecutor(model_dir, max_workers=WORKERS) as pool:
+        futures = [pool.submit(query) for query in queries]
+        assert [f.result().value for f in futures] == expected
+
+
+def test_refresh_under_load_keeps_answers_consistent(model_dir, tmp_path):
+    """Queries before a refresh answer against the old snapshot, after
+    against the new — never a mix, even with 8 workers remapping."""
+    from repro.core.update import append_rows
+
+    rng = np.random.default_rng(41)
+    data = rng.standard_normal((80, 3)) @ rng.standard_normal((3, 24))
+    directory = tmp_path / "model"
+    build_compressed(data, directory).close()
+
+    with ProcessQueryExecutor(directory, max_workers=WORKERS) as pool:
+        count_all = "count() rows 0:80 cols 0:24"
+        before = [pool.submit(count_all) for _ in range(16)]
+        assert {f.result().value for f in before} == {80 * 24}
+        append_rows(directory, rng.standard_normal((10, 24)))
+        pool.refresh()
+        after = [pool.submit("count() rows 0:90 cols 0:24") for _ in range(16)]
+        assert {f.result().value for f in after} == {90 * 24}

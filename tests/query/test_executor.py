@@ -174,6 +174,118 @@ class TestWarehouseIntegration:
             os.fstat(backend._u_store._pager._fd)
 
 
+class _SlowBackend:
+    """Row backend whose reads sleep, for draining/lifecycle races."""
+
+    def __init__(self, data, delay=0.02):
+        self._data = data
+        self.shape = data.shape
+        self.delay = delay
+        self.closed = False
+        self.reads_after_close = 0
+
+    def row(self, index):
+        import time
+
+        time.sleep(self.delay)
+        if self.closed:
+            self.reads_after_close += 1
+        return self._data[index]
+
+    def close(self):
+        self.closed = True
+
+
+class TestLifecycleRaces:
+    def test_shutdown_wait_false_defers_backend_close(self, rng):
+        """shutdown(wait=False) must not close backends under in-flight
+        queries: the close happens only after the pool drains."""
+        import time
+
+        backend = _SlowBackend(rng.standard_normal((30, 10)), delay=0.05)
+        pool = QueryExecutor(backend, max_workers=2, close_backend=True)
+        futures = [pool.submit(CellQuery(i, 0)) for i in range(6)]
+        start = time.perf_counter()
+        pool.shutdown(wait=False)
+        # Returns promptly, well before the ~150ms of queued sleeps.
+        assert time.perf_counter() - start < 0.1
+        # Every in-flight/queued query completes against a live backend.
+        values = [f.result().value for f in futures]
+        assert len(values) == 6
+        pool._closer.join(timeout=10)
+        assert backend.closed
+        assert backend.reads_after_close == 0
+
+    def test_shutdown_wait_true_closes_after_drain(self, rng):
+        backend = _SlowBackend(rng.standard_normal((30, 10)), delay=0.02)
+        pool = QueryExecutor(backend, max_workers=2, close_backend=True)
+        futures = [pool.submit(CellQuery(i, 0)) for i in range(4)]
+        pool.shutdown(wait=True)
+        assert backend.closed
+        assert backend.reads_after_close == 0
+        assert all(f.done() for f in futures)
+
+    def test_submit_vs_shutdown_race(self, rng):
+        """A submit that wins the race gets a future that completes; a
+        submit that loses gets RuntimeError — never a task scheduled
+        onto a closed pool or answered by a closed backend."""
+        import threading
+
+        backend = _SlowBackend(rng.standard_normal((30, 10)), delay=0.001)
+        pool = QueryExecutor(backend, max_workers=2, close_backend=True)
+        futures, rejected = [], []
+        stop = threading.Event()
+
+        def submitter():
+            while not stop.is_set():
+                try:
+                    futures.append(pool.submit(CellQuery(0, 0)))
+                except RuntimeError:
+                    rejected.append(1)
+                    return
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.05)
+        pool.shutdown(wait=False)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        pool._closer.join(timeout=10)
+        # Every accepted future completed against a live backend.
+        for future in futures:
+            assert future.result().cells_touched == 1
+        assert backend.reads_after_close == 0
+        assert backend.closed
+
+    def test_refresh_then_shutdown_closes_retired_backends(self, rng):
+        """Backends replaced by refresh() are retired, then closed at
+        shutdown — including with the deferred wait=False path."""
+        data = rng.standard_normal((20, 8))
+        first = _SlowBackend(data, delay=0.0)
+        second = _SlowBackend(data, delay=0.0)
+        pool = QueryExecutor(first, max_workers=2, close_backend=True)
+        pool.refresh(second)
+        assert not first.closed  # retired, not closed: reads may be live
+        pool.shutdown(wait=False)
+        pool._closer.join(timeout=10)
+        assert first.closed
+        assert second.closed
+
+    def test_unowned_initial_backend_stays_open(self, rng):
+        data = rng.standard_normal((20, 8))
+        caller_owned = _SlowBackend(data, delay=0.0)
+        replacement = _SlowBackend(data, delay=0.0)
+        pool = QueryExecutor(caller_owned, max_workers=1)
+        pool.refresh(replacement)
+        pool.shutdown()
+        assert not caller_owned.closed  # ours to close, not the pool's
+        assert replacement.closed  # executor-opened: pool owns it
+
+
 class TestRefresh:
     def _appendable_model(self, tmp_path, rng):
         data = rng.standard_normal((80, 3)) @ rng.standard_normal((3, 30))

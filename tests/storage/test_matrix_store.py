@@ -226,3 +226,74 @@ class TestReadRows:
         assert block.dtype == np.float64
         np.testing.assert_allclose(block, data[[2, 5]], atol=1e-6)
         st.close()
+
+
+class TestMappedMode:
+    """The mmap read path (``open(mapped=True)``) must agree with the
+    pooled path bit for bit and refuse mutation."""
+
+    def _mapped_pair(self, tmp_path, data, **create_kwargs):
+        MatrixStore.create(tmp_path / "m.mat", data, **create_kwargs).close()
+        pooled = MatrixStore.open(tmp_path / "m.mat")
+        mapped = MatrixStore.open(tmp_path / "m.mat", mapped=True)
+        return pooled, mapped
+
+    def test_mapped_flag(self, tmp_path, rng):
+        pooled, mapped = self._mapped_pair(tmp_path, rng.standard_normal((12, 5)))
+        assert mapped.mapped and not pooled.mapped
+        pooled.close()
+        mapped.close()
+
+    def test_reads_bit_identical_to_pooled(self, tmp_path, rng):
+        data = rng.standard_normal((33, 9))
+        pooled, mapped = self._mapped_pair(tmp_path, data)
+        try:
+            assert np.array_equal(mapped.read_all(), pooled.read_all())
+            for index in (0, 7, 32):
+                assert np.array_equal(mapped.row(index), pooled.row(index))
+            assert mapped.cell(3, 4) == pooled.cell(3, 4)
+            idx = [7, 0, 3, 7]
+            assert np.array_equal(mapped.read_rows(idx), pooled.read_rows(idx))
+        finally:
+            pooled.close()
+            mapped.close()
+
+    def test_float32_mapped_reads_back_float64(self, tmp_path, rng):
+        data = rng.standard_normal((10, 6))
+        pooled, mapped = self._mapped_pair(tmp_path, data, dtype=np.float32)
+        try:
+            block = mapped.read_rows([2, 5])
+            assert block.dtype == np.float64
+            assert np.array_equal(block, pooled.read_rows([2, 5]))
+        finally:
+            pooled.close()
+            mapped.close()
+
+    def test_mapped_refuses_append(self, tmp_path, rng):
+        from repro.exceptions import ConfigurationError
+
+        _, mapped = self._mapped_pair(tmp_path, rng.standard_normal((6, 4)))
+        _.close()
+        try:
+            with pytest.raises(ConfigurationError):
+                mapped.append_rows([np.ones(4)])
+        finally:
+            mapped.close()
+
+    def test_truncated_file_rejected_at_map_time(self, tmp_path, rng):
+        import os
+
+        path = tmp_path / "t.mat"
+        MatrixStore.create(path, rng.standard_normal((40, 8))).close()
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 64)
+        with pytest.raises(FormatError):
+            MatrixStore.open(path, mapped=True)
+
+    def test_close_releases_the_mapping(self, tmp_path, rng):
+        _, mapped = self._mapped_pair(tmp_path, rng.standard_normal((6, 4)))
+        _.close()
+        row = mapped.row(0)  # materialized copy, outlives the store
+        mapped.close()  # must not raise BufferError on live exports
+        assert np.isfinite(row).all()
+        mapped.close()  # idempotent

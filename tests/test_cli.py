@@ -241,6 +241,49 @@ class TestQueryAndVerifyCommands:
         assert main(["query", str(model_dir), "fetch everything"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_batch_modes_agree(self, model_dir, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# comment lines and blanks are skipped\n"
+            "\n"
+            "sum() rows 0:50 cols 0:30\n"
+            "cell(10, 100)\n"
+        )
+        outputs = {}
+        for mode in ("sequential", "thread", "process"):
+            code = main(
+                [
+                    "batch",
+                    str(model_dir),
+                    "--file",
+                    str(queries),
+                    "--mode",
+                    mode,
+                    "--workers",
+                    "2",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"[{mode}]" in out
+            # Answer lines must be identical across the three modes.
+            outputs[mode] = [
+                line for line in out.splitlines() if " = " in line
+            ]
+        assert outputs["sequential"] == outputs["thread"] == outputs["process"]
+        assert len(outputs["sequential"]) == 2
+
+    def test_batch_inline_query(self, model_dir, capsys):
+        code = main(
+            ["batch", str(model_dir), "--query", "avg() rows 0:10 cols 0:10"]
+        )
+        assert code == 0
+        assert "avg() rows 0:10 cols 0:10 =" in capsys.readouterr().out
+
+    def test_batch_without_queries_fails(self, model_dir, capsys):
+        assert main(["batch", str(model_dir)]) == 1
+        assert "no queries" in capsys.readouterr().err
+
     def test_verify_against_dataset(self, model_dir, capsys):
         assert main(["verify", str(model_dir), "--dataset", "phone150"]) == 0
         out = capsys.readouterr().out
