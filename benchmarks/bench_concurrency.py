@@ -34,6 +34,8 @@ import numpy as np
 
 from benchmarks.conftest import emit, emit_json, format_table
 from repro.core import CompressedMatrix, SVDDCompressor, build_compressed
+from repro.obs import Histogram
+from repro.obs.bench import latency_summary_ms
 from repro.query import (
     AggregateQuery,
     ProcessQueryExecutor,
@@ -77,6 +79,27 @@ def _aggregate_workload(shape: tuple[int, int], count: int) -> list[AggregateQue
     return queries
 
 
+def _observe_latencies(pool, queries, histogram: Histogram) -> None:
+    """Record each query's submit-to-done wall time into ``histogram``.
+
+    Queries are submitted all at once (the benches' normal concurrency
+    shape), so the recorded latencies include queueing — the figure a
+    client of the pool actually observes.
+    """
+    futures = []
+    for query in queries:
+        begin = time.perf_counter_ns()
+        future = pool.submit(query)
+        future.add_done_callback(
+            lambda _f, begin=begin: histogram.observe(
+                time.perf_counter_ns() - begin
+            )
+        )
+        futures.append(future)
+    for future in futures:
+        future.result()
+
+
 def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
     root = tmp_path_factory.mktemp("concurrency")
     model = SVDDCompressor(budget_fraction=0.10).fit(phone2000)
@@ -85,10 +108,17 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
 
     store = CompressedMatrix.open(root / "model", pool_capacity=256)
 
+    # Per-route client-observed latency distributions (schema-2 block).
+    latency = {route: Histogram() for route in ("sequential", "thread_4w", "process_4w")}
+
     # Sequential baseline: one engine, one thread, no pool machinery.
     engine = QueryEngine(store)
     start = time.perf_counter()
-    expected = [engine.aggregate(query).value for query in queries]
+    expected = []
+    for query in queries:
+        begin = time.perf_counter_ns()
+        expected.append(engine.aggregate(query).value)
+        latency["sequential"].observe(time.perf_counter_ns() - begin)
     sequential_qps = QUERIES / (time.perf_counter() - start)
 
     rows = []
@@ -106,6 +136,12 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
                 f"{report.throughput_qps / qps_by_workers[1]:.2f}x",
             ]
         )
+
+    # Latency pass at 4 thread workers: submit-to-result wall time per
+    # query, queueing included — what a client actually waits.
+    with QueryExecutor(store, max_workers=4) as pool:
+        pool.run_batch(queries[:16])
+        _observe_latencies(pool, queries, latency["thread_4w"])
     store.close()
 
     speedup_4 = qps_by_workers[4] / qps_by_workers[1]
@@ -131,6 +167,11 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
             ]
         )
     speedup_4_proc = qps_proc[4] / qps_proc[1]
+
+    # Same latency pass over the process pool (pickle/IPC included).
+    with ProcessQueryExecutor(root / "model", max_workers=4) as pool:
+        pool.run_batch(queries[:16])
+        _observe_latencies(pool, queries, latency["process_4w"])
 
     # Parallel build on a disk-resident source.
     source = MatrixStore.create(root / "raw.mat", phone2000)
@@ -195,6 +236,10 @@ def test_concurrent_query_throughput(tmp_path_factory, phone2000, benchmark):
             "build_s_jobs1": round(build_s_jobs1, 4),
             "build_s_jobs4": round(build_s_jobs4, 4),
             "build_speedup": round(build_speedup, 4),
+            "latency_ms": {
+                route: latency_summary_ms(hist)
+                for route, hist in latency.items()
+            },
         },
     )
 

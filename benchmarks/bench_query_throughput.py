@@ -20,6 +20,8 @@ import numpy as np
 
 from benchmarks.conftest import emit, emit_json, format_table
 from repro.core import CompressedMatrix, SVDDCompressor
+from repro.obs import Histogram
+from repro.obs.bench import latency_summary_ms
 from repro.storage import BufferPool, MatrixStore
 
 
@@ -42,18 +44,24 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
     throughput = {}
     config_metrics = {}
     for label, pool_capacity in (("64-page pool", 64), ("512-page pool", 512)):
+        compressed_latency = Histogram()
         compressed = CompressedMatrix.open(root / "model", pool_capacity=pool_capacity)
         start = time.perf_counter()
         for row, col in queries:
+            begin = time.perf_counter_ns()
             compressed.cell(row, col)
+            compressed_latency.observe(time.perf_counter_ns() - begin)
         compressed_qps = len(queries) / (time.perf_counter() - start)
         hit_rate = compressed.u_pool_stats.hit_rate
         compressed.close()
 
+        raw_latency = Histogram()
         raw = MatrixStore.open(root / "raw.mat", pool_capacity=pool_capacity)
         start = time.perf_counter()
         for row, col in queries:
+            begin = time.perf_counter_ns()
             raw.cell(row, col)
+            raw_latency.observe(time.perf_counter_ns() - begin)
         raw_qps = len(queries) / (time.perf_counter() - start)
         raw.close()
 
@@ -62,6 +70,10 @@ def test_query_throughput(tmp_path_factory, phone2000, benchmark):
             "compressed_qps": round(compressed_qps, 1),
             "raw_qps": round(raw_qps, 1),
             "u_pool_hit_rate": round(hit_rate, 4),
+            "latency_ms": {
+                "compressed": latency_summary_ms(compressed_latency),
+                "raw": latency_summary_ms(raw_latency),
+            },
         }
         rows.append(
             [

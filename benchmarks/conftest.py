@@ -69,16 +69,23 @@ def emit_json(name: str, params: dict, metrics: dict) -> None:
     throughput computed from a wall time that rounded to zero) poisons
     every ratio the trajectory tooling derives from the record, so it
     is rejected at the source instead of surfacing downstream.
+
+    Alongside the record, one full metrics-registry snapshot is
+    appended to ``benchmarks/results/metrics.jsonl`` (rotating), tagged
+    with the bench name — the per-run registry state (pool/pager stats,
+    any span histograms) CI uploads next to the BENCH_*.json artifacts.
     """
     import math
 
     from repro.obs.bench import write_bench_json
+    from repro.obs.export import MetricsSnapshotWriter
 
     for key, value in metrics.items():
         if isinstance(value, (int, float)) and not math.isfinite(value):
             raise AssertionError(f"metric {key!r} is not finite: {value!r}")
 
     path = write_bench_json(RESULTS_DIR, name, params=params, metrics=metrics)
+    MetricsSnapshotWriter(RESULTS_DIR / "metrics.jsonl").write(bench=name)
     print(f"[bench] wrote {path}")
 
 

@@ -16,6 +16,11 @@ Gives the library the operational surface a deployed system would have:
   worker processes sharing the model through mmap);
 - ``stats``   — run a random-cell workload with telemetry enabled and
   dump the metrics registry (pool/pager counters, span timings) as JSON;
+- ``serve-metrics`` — expose the live registry over HTTP (``/metrics``
+  OpenMetrics text for Prometheus, ``/healthz``, ``/snapshot`` JSON),
+  optionally exercising a model and writing rotating JSONL snapshots;
+- ``top``     — live terminal monitor polling a ``serve-metrics``
+  endpoint: qps, pool hit rate, per-route latency quantiles, workers;
 - ``fsck``    — verify a model directory against its integrity manifest
   (full SHA-256 by default, ``--quick`` for sizes only) and confirm the
   model actually opens;
@@ -253,32 +258,53 @@ def cmd_batch(args) -> int:
     if not texts:
         print("error: no queries given (use --file and/or --query)", file=sys.stderr)
         return 1
-    if args.mode == "process":
-        from repro.query import ProcessQueryExecutor
+    profile = getattr(args, "profile", False)
+    if profile:
+        registry.enable()
+    if getattr(args, "slow_ms", None) is not None:
+        from repro.obs.slowlog import slow_query_log
 
-        with ProcessQueryExecutor(args.model, max_workers=args.workers) as pool:
-            report = pool.run_batch(texts, chunksize=args.chunksize)
-    elif args.mode == "thread":
-        from repro.query import QueryExecutor
+        registry.enable()
+        slow_query_log.configure(args.slow_ms, path=getattr(args, "slow_log", None))
 
-        backend = CompressedMatrix.open(args.model)
-        with QueryExecutor(
-            backend, max_workers=args.workers, close_backend=True
-        ) as pool:
-            report = pool.run_batch(texts)
-    else:
+    def _run() -> BatchReport:
+        if args.mode == "process":
+            from repro.query import ProcessQueryExecutor
+
+            with ProcessQueryExecutor(args.model, max_workers=args.workers) as pool:
+                return pool.run_batch(texts, chunksize=args.chunksize)
+        if args.mode == "thread":
+            from repro.query import QueryExecutor
+
+            backend = CompressedMatrix.open(args.model)
+            with QueryExecutor(
+                backend, max_workers=args.workers, close_backend=True
+            ) as pool:
+                return pool.run_batch(texts)
         with CompressedMatrix.open(args.model) as store:
             engine = QueryEngine(store)
             start = time.perf_counter()
             results = [engine.execute(coerce_query(text)) for text in texts]
             wall = time.perf_counter() - start
-        report = BatchReport(
+        return BatchReport(
             results=results,
             queries=len(texts),
             workers=1,
             wall_s=wall,
             throughput_qps=batch_throughput(len(texts), wall),
         )
+
+    if profile:
+        # One root span for the whole batch: sequential queries nest
+        # under it directly, and process-mode workers' span trees are
+        # grafted under it as results are collected — the printed tree
+        # spans caller and workers, joined on trace ids.
+        from repro.obs.tracing import span as _span, trace as _trace
+
+        with _trace(), _span("batch", mode=args.mode, queries=len(texts)) as root:
+            report = _run()
+    else:
+        report = _run()
     for text, result in zip(texts, report.results):
         print(f"{text} = {result.value:.6g}")
     print(
@@ -286,6 +312,8 @@ def cmd_batch(args) -> int:
         f"[{args.mode}], {report.wall_s:.3f}s, "
         f"{report.throughput_qps:.1f} qps"
     )
+    if profile:
+        print(json.dumps(root.to_dict(), indent=2))
     return 0
 
 
@@ -323,6 +351,192 @@ def cmd_stats(args) -> int:
         }
         print(json.dumps({"summary": summary, "registry": registry.snapshot()},
                          indent=2, default=str))
+    return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    """Handle ``repro serve-metrics``: HTTP metrics endpoint + snapshots.
+
+    Enables telemetry, starts the embedded
+    :class:`~repro.obs.serve.MetricsServer` (``/metrics`` OpenMetrics
+    text, ``/healthz``, ``/snapshot`` JSON), and ticks every
+    ``--interval`` seconds until ``--duration`` elapses (forever when
+    omitted).  Each tick optionally runs ``--exercise`` random cell
+    queries against ``--model`` (so latency histograms and pool
+    counters are live even without external traffic) and appends one
+    registry snapshot to the rotating JSONL file at ``--snapshots``.
+    ``--slow-ms`` arms the slow-query log, to ``--slow-log`` if given.
+    """
+    import time
+
+    from repro.obs.export import MetricsSnapshotWriter
+    from repro.obs.serve import MetricsServer
+
+    registry.enable()
+    if args.slow_ms is not None:
+        from repro.obs.slowlog import slow_query_log
+
+        slow_query_log.configure(args.slow_ms, path=args.slow_log)
+    store = engine = None
+    rng = np.random.default_rng(args.seed)
+    writer = MetricsSnapshotWriter(args.snapshots) if args.snapshots else None
+    server = MetricsServer(host=args.host, port=args.port).start()
+    try:
+        if args.model:
+            store = CompressedMatrix.open(args.model)
+            engine = QueryEngine(store)
+        print(
+            f"serving metrics on {server.url}  "
+            "(routes: /metrics /healthz /snapshot)"
+        )
+        sys.stdout.flush()
+        deadline = (
+            time.monotonic() + args.duration if args.duration is not None else None
+        )
+        while True:
+            if engine is not None and args.exercise:
+                rows, cols = store.shape
+                for index in range(args.exercise):
+                    if index % 8 == 7:
+                        row = int(rng.integers(rows))
+                        engine.aggregate(
+                            AggregateQuery(
+                                "avg",
+                                Selection(rows=range(row, row + 1), cols=None),
+                            )
+                        )
+                    else:
+                        engine.cell(
+                            CellQuery(
+                                int(rng.integers(rows)), int(rng.integers(cols))
+                            )
+                        )
+            if writer is not None:
+                writer.write()
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                time.sleep(min(args.interval, remaining))
+            else:
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if store is not None:
+            store.close()
+    return 0
+
+
+def format_top_frame(
+    snapshot: dict, prev: dict | None = None, dt: float | None = None
+) -> str:
+    """Render one ``repro top`` frame from a registry snapshot.
+
+    Pure function of the ``/snapshot`` payloads so tests can exercise
+    the rendering without a server: ``prev``/``dt`` (the previous
+    snapshot and the seconds between them) turn cumulative query
+    counters into a rate; without them the frame shows totals only.
+    """
+
+    def _counter(snap: dict | None, name: str) -> float:
+        return float((snap or {}).get("counters", {}).get(name, 0))
+
+    def _queries(snap: dict | None) -> float:
+        """Total queries served, from whichever source is counting.
+
+        Executor counters cover pooled serving; the span histogram
+        counts cover direct engine traffic (e.g. serve-metrics
+        --exercise).  Thread-pool traffic increments both, so take the
+        max rather than the sum.
+        """
+        executors = _counter(snap, "executor.queries") + _counter(
+            snap, "executor.proc.queries"
+        )
+        histograms = (snap or {}).get("histograms", {}) or {}
+        spans = sum(
+            float(histograms.get(name, {}).get("count", 0))
+            for name in ("span.query.cell", "span.query.aggregate")
+        )
+        return max(executors, spans)
+
+    queries = _queries(snapshot)
+    if prev is not None and dt and dt > 0:
+        qps = f"{max(0.0, queries - _queries(prev)) / dt:8.1f} qps"
+    else:
+        qps = f"{int(queries):8d} queries total"
+
+    pools = snapshot.get("pools", {}) or {}
+    hits = sum(float(stats.get("hits", 0)) for stats in pools.values())
+    misses = sum(float(stats.get("misses", 0)) for stats in pools.values())
+    accesses = hits + misses
+    hit_rate = f"{hits / accesses:6.1%}" if accesses else "   n/a"
+
+    slow = int(_counter(snapshot, "slowlog.records"))
+
+    lines = [
+        f"queries {qps}   pool hit-rate {hit_rate}   slow {slow}",
+        f"{'route':<28} {'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9} {'count':>9}",
+    ]
+    histograms = snapshot.get("histograms", {}) or {}
+    routes = sorted(
+        name for name in histograms if name.startswith("span.query")
+    )
+    for name in routes:
+        summary = histograms[name]
+        cells = []
+        for key in ("p50", "p95", "p99"):
+            value = summary.get(key)
+            cells.append(f"{value / 1e6:9.3f}" if value is not None else f"{'-':>9}")
+        lines.append(
+            f"{name:<28} {cells[0]} {cells[1]} {cells[2]} "
+            f"{int(summary.get('count', 0)):9d}"
+        )
+    if not routes:
+        lines.append("(no span.query histograms yet)")
+
+    gauges = snapshot.get("gauges", {}) or {}
+    workers = [
+        f"{name.split('.', 1)[1]}={gauges[name]:g}"
+        for name in sorted(gauges)
+        if name.startswith("executor.")
+    ]
+    if workers:
+        lines.append("workers: " + "  ".join(workers))
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Handle ``repro top``: poll a serve-metrics endpoint and render.
+
+    Fetches ``/snapshot`` every ``--interval`` seconds and prints a
+    frame of qps (from counter deltas), pool hit rate, per-route
+    ``span.query.*`` latency quantiles, and worker gauges.
+    ``--iterations 0`` runs until interrupted.
+    """
+    import time
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    prev = prev_time = None
+    frame = 0
+    try:
+        while True:
+            with urllib.request.urlopen(base + "/snapshot", timeout=10) as reply:
+                snapshot = json.load(reply)
+            now = time.monotonic()
+            dt = (now - prev_time) if prev_time is not None else None
+            print(f"--- repro top @ {base} (frame {frame + 1}) ---")
+            print(format_top_frame(snapshot, prev, dt))
+            sys.stdout.flush()
+            prev, prev_time = snapshot, now
+            frame += 1
+            if args.iterations and frame >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -553,6 +767,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="queries per worker round trip (process mode; default: auto)",
     )
+    batch.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable telemetry and print the batch span tree as JSON "
+        "(process mode grafts worker trees into it)",
+    )
+    batch.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="arm the slow-query log at this threshold (milliseconds)",
+    )
+    batch.add_argument(
+        "--slow-log", default=None, help="JSONL file for slow-query records"
+    )
     batch.set_defaults(func=cmd_batch)
 
     stats = sub.add_parser(
@@ -567,6 +796,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--pool-capacity", type=int, default=64, help="U-store buffer pool pages"
     )
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="serve the metrics registry over HTTP (/metrics, /healthz, /snapshot)",
+    )
+    serve.add_argument(
+        "--model", default=None, help="model directory to exercise (optional)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=9464, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--snapshots", default=None, help="rotating JSONL registry-snapshot file"
+    )
+    serve.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between ticks"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="exit after this many seconds (default: run until interrupted)",
+    )
+    serve.add_argument(
+        "--exercise",
+        type=int,
+        default=0,
+        help="random queries per tick against --model (keeps histograms live)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="arm the slow-query log at this threshold (milliseconds)",
+    )
+    serve.add_argument(
+        "--slow-log", default=None, help="JSONL file for slow-query records"
+    )
+    serve.set_defaults(func=cmd_serve_metrics)
+
+    top = sub.add_parser(
+        "top", help="live monitor polling a serve-metrics endpoint"
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:9464", help="serve-metrics base URL"
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between frames"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting (0 = until interrupted)",
+    )
+    top.set_defaults(func=cmd_top)
 
     fsck = sub.add_parser(
         "fsck", help="verify a model directory against its integrity manifest"

@@ -18,7 +18,13 @@ asserting them:
   attached to :class:`~repro.query.engine.QueryResult` while telemetry
   is enabled;
 - :func:`~repro.obs.bench.write_bench_json` — schema-versioned JSON
-  benchmark records (git sha, params, metrics).
+  benchmark records (git sha, params, metrics);
+- :func:`~repro.obs.export.render_openmetrics` /
+  :class:`~repro.obs.serve.MetricsServer` — Prometheus-scrapeable
+  OpenMetrics text over the registry, plus a rotating JSONL snapshot
+  writer (:class:`~repro.obs.export.MetricsSnapshotWriter`);
+- :data:`~repro.obs.slowlog.slow_query_log` — threshold-triggered
+  structured log of full profiles + span trees for outlier queries.
 
 Everything is **off by default**: call ``registry.enable()`` (the CLI's
 ``--profile`` flag and ``stats`` command do) and the instrumented hot
@@ -32,10 +38,26 @@ from repro.obs.bench import (
     git_sha,
     write_bench_json,
 )
+from repro.obs.export import (
+    MetricsSnapshotWriter,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.logging import JsonLogger, log_event, set_log_stream
 from repro.obs.profile import QueryProfile, StatDelta
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, registry
-from repro.obs.tracing import NULL_SPAN, Span, current_span, span
+from repro.obs.serve import MetricsServer
+from repro.obs.slowlog import SlowQueryLog, slow_query_log
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    current_span,
+    current_trace_id,
+    graft,
+    new_trace_id,
+    span,
+    trace,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -44,16 +66,26 @@ __all__ = [
     "Histogram",
     "JsonLogger",
     "MetricsRegistry",
+    "MetricsServer",
+    "MetricsSnapshotWriter",
     "NULL_SPAN",
     "QueryProfile",
+    "SlowQueryLog",
     "Span",
     "StatDelta",
     "bench_record",
     "current_span",
+    "current_trace_id",
     "git_sha",
+    "graft",
     "log_event",
+    "new_trace_id",
     "registry",
+    "render_openmetrics",
     "set_log_stream",
+    "slow_query_log",
     "span",
+    "trace",
+    "validate_openmetrics",
     "write_bench_json",
 ]

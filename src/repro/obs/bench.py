@@ -10,13 +10,20 @@ and consumable by CI artifact tooling.
 Record shape (``schema`` bumps on breaking changes)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "name": "query_throughput",
       "git_sha": "abc123…" | null,
       "timestamp": "2026-08-06T12:00:00+00:00",
       "params": {...},      # workload knobs: dataset, sizes, budgets
       "metrics": {...}      # measured numbers only
     }
+
+Schema history:
+
+- **2** — latency quantiles: throughput benches carry per-route
+  ``{"p50_ms", "p95_ms", "p99_ms", "count"}`` blocks (see
+  :func:`latency_summary_ms`) alongside the existing qps figures.
+- **1** — initial shape.
 """
 
 from __future__ import annotations
@@ -27,9 +34,28 @@ import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
 
-__all__ = ["BENCH_SCHEMA_VERSION", "bench_record", "git_sha", "write_bench_json"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "bench_record",
+    "git_sha",
+    "latency_summary_ms",
+    "write_bench_json",
+]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+
+def latency_summary_ms(histogram) -> dict:
+    """A latency-quantile metrics block from a nanosecond Histogram.
+
+    ``{"p50_ms", "p95_ms", "p99_ms", "count"}`` — the schema-2 shape
+    throughput benches embed per route.  Quantiles are None when the
+    histogram is empty.
+    """
+    summary: dict = {"count": histogram.count}
+    for key, value in histogram.percentiles().items():
+        summary[f"{key}_ms"] = round(value / 1e6, 4) if value is not None else None
+    return summary
 
 
 def git_sha(cwd: str | os.PathLike | None = None) -> str | None:

@@ -2,9 +2,13 @@
 
 One event per line, each a self-contained JSON object with a wall-clock
 timestamp, an event name, and arbitrary fields — the format log
-shippers and `jq` both eat directly.  Events are dropped entirely while
-the registry is disabled, so library code can call
-:func:`log_event` unconditionally.
+shippers and `jq` both eat directly.  Every record carries both a
+float ``ts`` (epoch seconds, cheap to difference) and an ISO-8601 UTC
+``time`` (human- and log-shipper-friendly), plus the ambient
+``trace_id`` when one is active — the join key that correlates a log
+line with the query's spans, profile and slow-query record.  Events
+are dropped entirely while the registry is disabled, so library code
+can call :func:`log_event` unconditionally.
 
 The default sink is ``sys.stderr`` (stdout stays reserved for command
 output and benchmark tables); tests and embedders redirect it with
@@ -16,9 +20,11 @@ from __future__ import annotations
 import json
 import sys
 import time
+from datetime import datetime, timezone
 from typing import IO
 
 from repro.obs.registry import registry
+from repro.obs.tracing import current_trace_id
 
 __all__ = ["JsonLogger", "log_event", "set_log_stream"]
 
@@ -41,7 +47,15 @@ class JsonLogger:
         """Emit one event line (no-op while the registry is disabled)."""
         if not registry.enabled:
             return
-        record = {"ts": time.time(), "event": event}
+        now = time.time()
+        record = {
+            "ts": now,
+            "time": datetime.fromtimestamp(now, timezone.utc).isoformat(),
+            "event": event,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         record.update(fields)
         self.stream.write(json.dumps(record, default=str) + "\n")
 

@@ -59,6 +59,10 @@ class QueryProfile:
     stream_ns: int = 0
     #: Backend class name, for context in dumped profiles.
     backend: str = ""
+    #: Trace id of the span tree this query ran under — the join key
+    #: between profiles, structured log lines, and (for process-mode
+    #: queries) the worker's grafted span tree.
+    trace_id: str = ""
     extra: dict = field(default_factory=dict)
 
     @property

@@ -32,6 +32,7 @@ threads.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 import weakref
@@ -92,28 +93,66 @@ class Gauge:
             return self.value
 
 
-class Histogram:
-    """Streaming summary of observations (count/total/min/max/mean).
+#: Log-scale bucket layout shared by every histogram: bucket ``i``
+#: covers values in ``(2**(i/4 - 1/4), 2**(i/4)]`` — a ~19% growth
+#: factor, fine enough that a p99 read off a bucket bound is within
+#: one fifth of the true value.  176 buckets span 1 ns .. ~2**44 ns
+#: (about five hours), the full range a span duration can plausibly
+#: take; values outside clamp to the end buckets.
+_BUCKET_COUNT = 176
+_BUCKETS_PER_OCTAVE = 4
+_LOG2_SCALE = 1.0 / math.log(2.0) * _BUCKETS_PER_OCTAVE
+#: Upper bound of each bucket (inclusive), precomputed once.
+_BUCKET_BOUNDS = tuple(
+    2.0 ** ((index + 1) / _BUCKETS_PER_OCTAVE) for index in range(_BUCKET_COUNT)
+)
 
-    Used for nanosecond span durations; no buckets are kept — the
-    summary is enough to answer "how long did pass 2 take" and "what is
-    the mean per-query GEMM time" without unbounded memory.  ``observe``
-    updates four fields that must stay mutually consistent, so it runs
-    under a per-histogram lock.
+
+def _bucket_index(value: float) -> int:
+    """The log-scale bucket a positive value falls into (clamped)."""
+    if value <= 1.0:
+        return 0
+    index = int(math.log(value) * _LOG2_SCALE)
+    # Float log can land exactly on a bound's neighbour; nudge so the
+    # bucket's upper bound is truly >= value.
+    if index > 0 and value <= _BUCKET_BOUNDS[index - 1]:
+        index -= 1
+    if index >= _BUCKET_COUNT:
+        return _BUCKET_COUNT - 1
+    return index
+
+
+class Histogram:
+    """Streaming distribution of observations with latency quantiles.
+
+    Keeps the cheap summary fields (count/total/min/max) **plus** a
+    fixed array of log-scale buckets (see ``_BUCKET_BOUNDS``), so a
+    long-lived serving process can answer "what is p99 query latency"
+    without retaining observations.  Memory is a constant ~1.4 KB per
+    histogram regardless of observation count.
+
+    ``observe`` updates fields that must stay mutually consistent, so
+    it runs under a per-histogram lock.  :meth:`merge` folds another
+    histogram in (used to combine per-worker distributions into a
+    fleet-wide one) and is lock-safe against concurrent observers on
+    both sides: it snapshots the source under its lock, then applies
+    under the destination's.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum", "_lock")
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.buckets = [0] * _BUCKET_COUNT
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation; safe to call from any thread."""
         value = float(value)
+        index = _bucket_index(value)
         with self._lock:
             self.count += 1
             self.total += value
@@ -121,20 +160,80 @@ class Histogram:
                 self.minimum = value
             if value > self.maximum:
                 self.maximum = value
+            self.buckets[index] += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s distribution into this histogram.
+
+        Safe against concurrent ``observe`` on either side; after the
+        merge, this histogram's quantiles describe the union of both
+        observation streams exactly (bucket counts are additive).
+        Returns ``self`` for chaining.
+        """
+        with other._lock:
+            count = other.count
+            total = other.total
+            minimum = other.minimum
+            maximum = other.maximum
+            buckets = list(other.buckets)
+        with self._lock:
+            self.count += count
+            self.total += total
+            if minimum < self.minimum:
+                self.minimum = minimum
+            if maximum > self.maximum:
+                self.maximum = maximum
+            for index, extra in enumerate(buckets):
+                if extra:
+                    self.buckets[index] += extra
+        return self
 
     @property
     def mean(self) -> float:
         """Average observation (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """The value at quantile ``q`` in [0, 1] (None when empty).
+
+        Resolved from the log-scale buckets: the answer is the upper
+        bound of the bucket containing the q-th observation, clamped to
+        the exact observed [min, max] — so resolution is ~19% in the
+        middle and exact at the extremes.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            count = self.count
+            if count == 0:
+                return None
+            target = q * count
+            cumulative = 0
+            bound = self.maximum
+            for index, bucket in enumerate(self.buckets):
+                cumulative += bucket
+                if cumulative >= target:
+                    bound = _BUCKET_BOUNDS[index]
+                    break
+            return min(max(bound, self.minimum), self.maximum)
+
+    def percentiles(self) -> dict:
+        """The standard latency quantiles: p50/p95/p99 (None when empty)."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def to_dict(self) -> dict:
-        """The summary as a JSON-ready dict (bounds None when empty)."""
+        """Summary plus p50/p95/p99, JSON-ready (bounds None when empty)."""
         return {
             "count": self.count,
             "total": self.total,
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
             "mean": self.mean,
+            **self.percentiles(),
         }
 
 

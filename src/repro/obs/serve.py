@@ -1,0 +1,145 @@
+"""Embedded metrics endpoint over the process registry.
+
+A stdlib-only HTTP server (``http.server.ThreadingHTTPServer`` in a
+daemon thread) exposing the observability surface of a serving
+process:
+
+- ``GET /metrics`` — OpenMetrics exposition text from
+  :func:`repro.obs.export.render_openmetrics`, scrapeable by
+  Prometheus;
+- ``GET /healthz`` — liveness probe, always ``ok``;
+- ``GET /snapshot`` — the raw JSON registry snapshot (what
+  ``repro top`` polls: it needs counter values to difference into
+  rates, which the rendered text would make it re-parse).
+
+The server holds no query-path locks: every request just calls
+``registry.snapshot()``, which reads each metric under its own short
+lock.  ``repro serve-metrics`` wraps this in a CLI; embedders use it
+directly::
+
+    with MetricsServer(port=9464) as server:
+        print(server.url)        # http://127.0.0.1:9464
+        ...                      # serve queries; scrape any time
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import render_openmetrics
+from repro.obs.registry import MetricsRegistry, registry as _default_registry
+
+__all__ = ["MetricsServer", "OPENMETRICS_CONTENT_TYPE"]
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Routes /metrics, /healthz and /snapshot; 404 otherwise."""
+
+    # Set by MetricsServer before the server starts.
+    registry: MetricsRegistry = _default_registry
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_openmetrics(registry=self.registry).encode()
+            self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        elif path == "/snapshot":
+            body = json.dumps(self.registry.snapshot(), default=str).encode()
+            self._reply(200, "application/json", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:
+        """Silence per-request stderr chatter; scrapes are frequent."""
+
+
+class MetricsServer:
+    """Serves the registry over HTTP from a background daemon thread.
+
+    Args:
+        host: bind address; default loopback only.
+        port: TCP port; 0 picks a free one (read it back from
+            :attr:`port` after :meth:`start`).
+        registry: metrics registry to expose; defaults to the
+            process-wide one.
+
+    Usable as a context manager; :meth:`stop` is idempotent.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._registry = registry or _default_registry
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 once the server has started)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        """Bind and start serving in a daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        handler = type(
+            "_BoundMetricsHandler",
+            (_MetricsHandler,),
+            {"registry": self._registry},
+        )
+        self._server = ThreadingHTTPServer((self._host, self._port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        server, thread = self._server, self._thread
+        self._server = None
+        self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

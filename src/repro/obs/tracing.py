@@ -16,30 +16,101 @@ Every *finished* span also records its duration into the registry
 histogram ``span.<name>``, so long-lived processes accumulate timing
 distributions (e.g. ``span.build.pass2`` across many builds) that
 ``repro stats``-style dumps can export.
+
+**Traces cross process boundaries.**  Every root span carries a
+``trace_id`` — taken from the ambient :func:`trace` context when one is
+active, freshly minted otherwise — and child spans inherit their
+parent's.  The executors open a :func:`trace` context per submitted
+query, ship the id through the pickle boundary to worker processes, and
+the worker's finished span tree (serialized with :meth:`Span.to_dict`)
+is grafted back into the caller's live span with :func:`graft` — so a
+process-mode ``--profile`` run shows one coherent tree spanning caller
+and worker, joined on the trace id.
 """
 
 from __future__ import annotations
 
 import contextvars
 import time
+import uuid
 
 from repro.obs.registry import registry
 
-__all__ = ["NULL_SPAN", "Span", "current_span", "span"]
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "current_span",
+    "current_trace_id",
+    "graft",
+    "new_trace_id",
+    "span",
+    "trace",
+]
 
 _ACTIVE: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_active_span", default=None
 )
 
+_TRACE: contextvars.ContextVar["str | None"] = contextvars.ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the ambient :func:`trace` context, if any."""
+    return _TRACE.get()
+
+
+class _TraceContext:
+    """Context manager binding a trace id to the current context."""
+
+    __slots__ = ("trace_id", "_token")
+
+    def __init__(self, trace_id: str | None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> str:
+        self._token = _TRACE.set(self.trace_id)
+        return self.trace_id
+
+    def __exit__(self, *exc_info) -> None:
+        if self._token is not None:
+            _TRACE.reset(self._token)
+            self._token = None
+
+
+def trace(trace_id: str | None = None) -> _TraceContext:
+    """Bind ``trace_id`` (fresh when None) to the context for a block.
+
+    Root spans opened inside the block adopt it, as do structured log
+    records — the join key between logs, profiles and span trees.
+    """
+    return _TraceContext(trace_id)
+
 
 class Span:
     """One timed section; use as a context manager."""
 
-    __slots__ = ("name", "attrs", "start_ns", "end_ns", "children", "_token")
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "start_ns",
+        "end_ns",
+        "children",
+        "_token",
+    )
 
     def __init__(self, name: str, attrs: dict | None = None) -> None:
         self.name = name
         self.attrs = attrs or {}
+        self.trace_id: str | None = None
         self.start_ns = 0
         self.end_ns = 0
         self.children: list["Span"] = []
@@ -49,6 +120,10 @@ class Span:
         parent = _ACTIVE.get()
         if parent is not None:
             parent.children.append(self)
+            self.trace_id = parent.trace_id
+        else:
+            # Root span: join the ambient trace, or start a new one.
+            self.trace_id = _TRACE.get() or new_trace_id()
         self._token = _ACTIVE.set(self)
         self.start_ns = time.perf_counter_ns()
         return self
@@ -68,7 +143,7 @@ class Span:
     @property
     def duration_ns(self) -> int:
         """Elapsed nanoseconds (0 until the span has finished)."""
-        if self.end_ns and self.start_ns:
+        if self.end_ns:
             return self.end_ns - self.start_ns
         return 0
 
@@ -92,13 +167,33 @@ class Span:
         return total
 
     def to_dict(self) -> dict:
-        """The span tree (name, duration, attrs, children), JSON-ready."""
+        """The span tree (name, trace id, duration, attrs, children),
+        JSON-ready — and the wire format worker processes ship finished
+        trees back in (see :meth:`from_dict`)."""
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
             "duration_ns": self.duration_ns,
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a finished span tree from its :meth:`to_dict` form.
+
+        The reconstructed spans carry the original names, attrs, trace
+        ids and durations; they are already "finished" (never entered),
+        so grafting them never touches the context stack or re-records
+        their durations into the registry.
+        """
+        span = cls(data["name"], dict(data.get("attrs") or {}))
+        span.trace_id = data.get("trace_id")
+        span.end_ns = int(data.get("duration_ns") or 0)
+        span.children = [
+            cls.from_dict(child) for child in data.get("children") or ()
+        ]
+        return span
 
 
 class _NullSpan:
@@ -109,6 +204,7 @@ class _NullSpan:
     children: tuple = ()
     attrs: dict = {}
     duration_ns = 0
+    trace_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -139,3 +235,23 @@ def span(name: str, **attrs):
 def current_span() -> Span | None:
     """The innermost active real span in this context, if any."""
     return _ACTIVE.get()
+
+
+def graft(tree: dict | None) -> Span | None:
+    """Attach a serialized span tree under the current active span.
+
+    ``tree`` is a :meth:`Span.to_dict` payload — typically a worker
+    process's finished span tree shipped back alongside a query result.
+    Grafting it makes the caller's profile/trace output show one
+    coherent tree across the process hop.  Returns the reconstructed
+    root, or None when ``tree`` is None or no span is active (nothing
+    to attach to).
+    """
+    if tree is None:
+        return None
+    parent = _ACTIVE.get()
+    if parent is None:
+        return None
+    child = Span.from_dict(tree)
+    parent.children.append(child)
+    return child

@@ -21,6 +21,7 @@ import numpy as np
 from repro.exceptions import QueryError
 from repro.obs.profile import QueryProfile, StatDelta
 from repro.obs.registry import registry as _obs
+from repro.obs.slowlog import slow_query_log as _slowlog
 from repro.obs.tracing import span as _span
 from repro.query.fastpath import (
     FACTOR_FUNCTIONS,
@@ -229,7 +230,7 @@ class QueryEngine:
             return QueryResult(value=value, cells_touched=1, rows_fetched=1)
         capture = StatDelta(raw)
         start = time.perf_counter_ns()
-        with _span("query.cell", row=query.row, col=query.col):
+        with _span("query.cell", row=query.row, col=query.col) as root:
             value = backend.cell(query.row, query.col)
         profile = QueryProfile(
             path="cell",
@@ -238,8 +239,10 @@ class QueryEngine:
             rows_fetched=1,
             total_ns=time.perf_counter_ns() - start,
             backend=type(raw).__name__,
+            trace_id=root.trace_id or "",
             **capture.collect(),
         )
+        _slowlog.maybe_record(query, profile, root)
         return QueryResult(
             value=value, cells_touched=1, rows_fetched=1, profile=profile
         )
@@ -305,8 +308,10 @@ class QueryEngine:
             delta_ns=root.total_ns("query.factor.delta"),
             stream_ns=root.total_ns("query.stream.scan"),
             backend=type(raw).__name__,
+            trace_id=root.trace_id or "",
             **capture.collect(),
         )
+        _slowlog.maybe_record(query, profile, root)
         return replace(result, profile=profile)
 
     def _run_aggregate(

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import QueryError
 from repro.obs.registry import registry as _obs
+from repro.obs.tracing import current_trace_id, new_trace_id, trace
 from repro.query.engine import AggregateQuery, CellQuery, QueryEngine, QueryResult
 from repro.query.parser import parse_query
 
@@ -285,6 +286,12 @@ class QueryExecutor:
         """Schedule one query; returns a future of its
         :class:`~repro.query.engine.QueryResult`."""
         coerced = self._coerce(query)
+        # Each query gets its trace id at submit time — inheriting the
+        # caller's ambient trace when one is active — so the worker
+        # thread's spans, profile and log lines all join on it.
+        trace_id = (
+            (current_trace_id() or new_trace_id()) if _obs.enabled else None
+        )
         # The shutdown check and the pool submit must be one atomic
         # step: an unlocked check could pass just as shutdown() flips
         # the flag, scheduling work onto a closing pool whose backends
@@ -295,7 +302,7 @@ class QueryExecutor:
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("QueryExecutor is shut down")
-            return self._pool.submit(self._run_one, coerced)
+            return self._pool.submit(self._run_one, coerced, trace_id)
 
     def map(self, queries) -> list:
         """Run ``queries`` across the pool; results in submission order.
@@ -327,12 +334,16 @@ class QueryExecutor:
         """Normalize the accepted query forms to engine query objects."""
         return coerce_query(query)
 
-    def _run_one(self, query) -> QueryResult:
+    def _run_one(self, query, trace_id: str | None = None) -> QueryResult:
         """Worker body: execute one query with in-flight accounting."""
         gauge = _obs.gauge("executor.concurrency")
         gauge.add(1.0)
         try:
-            result = self._engine.execute(query)
+            if trace_id is not None:
+                with trace(trace_id):
+                    result = self._engine.execute(query)
+            else:
+                result = self._engine.execute(query)
             _obs.counter("executor.queries").inc()
             return result
         finally:

@@ -37,9 +37,17 @@ worker *process* pool:
 - **Per-worker metrics merge into** :mod:`repro.obs`: every result
   piggybacks the worker's cumulative engine counters, and
   :meth:`ProcessQueryExecutor.worker_metrics` folds the latest
-  snapshot per worker into the process registry
+  snapshot per live worker — plus the accumulated totals of workers
+  retired by pool rebuilds, so the merged numbers stay monotonic
+  across crashes — into the process registry
   (``executor.proc.fast_path_hits`` / ``executor.proc.streamed``
   gauges beside the parent-side ``executor.proc.queries`` counter).
+- **Traces survive the pickle boundary.**  While telemetry is on,
+  every query ships with a trace id; the worker runs it inside a
+  ``query.worker`` span under that trace and serializes the finished
+  span tree back on ``profile.extra["worker_span"]``, which ``map()``
+  grafts into the caller's live span — one coherent tree per query
+  across the process hop.
 
 Answers are bit-identical to sequential execution: the workers run the
 same engine code over the same bytes, and the concurrency bench asserts
@@ -60,11 +68,12 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.exceptions import QueryError
 from repro.obs.registry import registry as _obs
+from repro.obs.tracing import current_trace_id, graft, new_trace_id, span, trace
 from repro.query.engine import QueryEngine, QueryResult
 from repro.query.executor import (
     _DEFAULT_MAX_WORKERS,
@@ -163,27 +172,56 @@ def _worker_remap(generation: int) -> None:
     old.close()
 
 
-def _worker_run(queries: list, generation: int) -> tuple[list, dict]:
-    """Execute one chunk of queries against this worker's mapping.
+def _execute_traced(engine: QueryEngine, query, trace_id: str) -> QueryResult:
+    """Run one query under the submitted trace id, capturing the
+    worker-side span tree.
+
+    The enclosing ``query.worker`` span adopts ``trace_id`` through the
+    :func:`~repro.obs.tracing.trace` context, so the engine's own spans
+    nest underneath it with the caller's id.  The finished tree is
+    serialized into ``profile.extra["worker_span"]`` — the payload the
+    parent grafts back into its live span so ``--profile`` shows one
+    coherent caller+worker tree.
+    """
+    with trace(trace_id):
+        with span("query.worker", pid=os.getpid()) as wspan:
+            result = engine.execute(query)
+    tree = wspan.to_dict() if hasattr(wspan, "to_dict") else None
+    if tree is None or result.profile is None:
+        return result
+    profile = replace(
+        result.profile, extra={**result.profile.extra, "worker_span": tree}
+    )
+    return replace(result, profile=profile)
+
+
+def _worker_run(tasks: list, generation: int) -> tuple[list, dict]:
+    """Execute one chunk of ``(query, trace_id)`` tasks against this
+    worker's mapping.
 
     Returns ``(outcomes, stats)``: ``outcomes[i]`` is ``("ok", result)``
-    or ``("err", exception)`` for ``queries[i]`` — errors stay
+    or ``("err", exception)`` for ``tasks[i]`` — errors stay
     per-query — and ``stats`` is the worker's cumulative counter
     snapshot, piggybacked so the parent can merge per-worker metrics
-    without extra round trips.
+    without extra round trips.  A non-None ``trace_id`` (telemetry was
+    on in the parent) runs the query inside that trace, and the
+    finished span tree travels back on the result's profile.
     """
     if generation > _STATE["generation"]:
         _worker_remap(generation)
     engine: QueryEngine = _STATE["engine"]
     outcomes = []
-    for query in queries:
+    for query, trace_id in tasks:
         if isinstance(query, _CrashProbe):
             os._exit(query.exit_code)
         try:
-            outcomes.append(("ok", engine.execute(query)))
+            if trace_id is not None and _obs.enabled:
+                outcomes.append(("ok", _execute_traced(engine, query, trace_id)))
+            else:
+                outcomes.append(("ok", engine.execute(query)))
         except Exception as exc:  # pickled back, re-raised at the slot
             outcomes.append(("err", exc))
-    _STATE["queries"] += len(queries)
+    _STATE["queries"] += len(tasks)
     stats = {
         "pid": os.getpid(),
         "generation": _STATE["generation"],
@@ -246,6 +284,12 @@ class ProcessQueryExecutor:
         self._shutdown = False
         self._generation = 0
         self._worker_stats: dict[int, dict] = {}
+        # Cumulative totals of workers retired by pool rebuilds.  A
+        # crash (or any BrokenProcessPool) replaces every worker
+        # process and resets their cumulative counters to zero; without
+        # folding the dead workers' last snapshots in here, the merged
+        # executor.proc.* totals would move backwards after a restart.
+        self._retired_totals = {"queries": 0, "fast_path_hits": 0, "streamed": 0}
         self._pool = self._new_pool()
         _obs.gauge("executor.proc.workers").set(workers)
 
@@ -322,10 +366,30 @@ class ProcessQueryExecutor:
 
     # -- query dispatch -------------------------------------------------
 
+    @staticmethod
+    def _trace_id_for_submit() -> str | None:
+        """The trace id a query ships with (None when telemetry is off).
+
+        Inherits the caller's ambient :func:`~repro.obs.tracing.trace`
+        context when one is active so e.g. a ``repro batch --profile``
+        run joins every query to one trace family; otherwise each query
+        gets a fresh id.
+        """
+        if not _obs.enabled:
+            return None
+        return current_trace_id() or new_trace_id()
+
     def submit(self, query) -> "Future[QueryResult]":
         """Schedule one query; returns a future of its
-        :class:`~repro.query.engine.QueryResult`."""
-        inner = self._submit_chunk([_coerce(query)])
+        :class:`~repro.query.engine.QueryResult`.
+
+        While telemetry is enabled the query travels with a trace id;
+        the worker's finished span tree comes back on
+        ``result.profile.extra["worker_span"]`` (the future resolves on
+        a callback thread, so the caller grafts it if desired —
+        :meth:`map` does so automatically).
+        """
+        inner = self._submit_chunk([(_coerce(query), self._trace_id_for_submit())])
         outer: Future = Future()
 
         def _unwrap(done: Future) -> None:
@@ -350,14 +414,17 @@ class ProcessQueryExecutor:
         ``chunksize`` batches several queries into one worker round
         trip — the knob that amortizes pickling/IPC for small queries.
         A failing query raises when its slot is reached, after all
-        chunks have been scheduled.
+        chunks have been scheduled.  While telemetry is enabled, each
+        result's worker span tree is grafted into the caller's active
+        span as results are collected, so a profiled batch renders one
+        tree across the process hops.
         """
-        coerced = [_coerce(query) for query in queries]
+        tasks = [(_coerce(query), self._trace_id_for_submit()) for query in queries]
         if chunksize < 1:
             raise QueryError(f"chunksize must be >= 1, got {chunksize}")
         chunks = [
-            coerced[start : start + chunksize]
-            for start in range(0, len(coerced), chunksize)
+            tasks[start : start + chunksize]
+            for start in range(0, len(tasks), chunksize)
         ]
         futures = [self._submit_chunk(chunk) for chunk in chunks]
         results = []
@@ -367,6 +434,8 @@ class ProcessQueryExecutor:
             for kind, payload in outcomes:
                 if kind == "err":
                     raise payload
+                if payload.profile is not None:
+                    graft(payload.profile.extra.get("worker_span"))
                 results.append(payload)
         return results
 
@@ -417,11 +486,25 @@ class ProcessQueryExecutor:
                 return self._pool.submit(_worker_run, chunk, generation)
 
     def _rebuild_pool_locked(self) -> None:
-        """Replace a broken pool; caller holds ``self._lock``."""
+        """Replace a broken pool; caller holds ``self._lock``.
+
+        The outgoing workers' last piggybacked snapshots are folded
+        into ``_retired_totals`` before being dropped: the replacement
+        processes restart their cumulative counters at zero, and
+        without the fold the merged ``executor.proc.*`` totals would
+        regress after every crash/restart instead of staying monotonic.
+        """
         self._pool.shutdown(wait=False)
-        self._worker_stats.clear()
+        self._retire_worker_stats_locked()
         self._pool = self._new_pool()
         _obs.counter("executor.proc.restarts").inc()
+
+    def _retire_worker_stats_locked(self) -> None:
+        """Accumulate the current workers' totals; caller holds the lock."""
+        for snapshot in self._worker_stats.values():
+            for key in self._retired_totals:
+                self._retired_totals[key] += snapshot.get(key, 0)
+        self._worker_stats.clear()
 
     def _record_stats(self, stats: dict, queries: int) -> None:
         """Fold one worker snapshot into the parent-side accounting."""
@@ -429,21 +512,26 @@ class ProcessQueryExecutor:
         _obs.counter("executor.proc.queries").inc(queries)
 
     def worker_metrics(self) -> dict:
-        """Merge the latest per-worker counters into :mod:`repro.obs`.
+        """Merge per-worker counters into :mod:`repro.obs`.
 
         Sums the most recent cumulative snapshot piggybacked by each
-        worker (engine path counters plus served-query counts),
-        publishes the totals as ``executor.proc.*`` gauges, and returns
-        the merged dict.  Counts reset when a broken pool is rebuilt —
-        they describe the *current* workers.
+        live worker **plus** the accumulated totals of workers retired
+        by pool rebuilds, publishes the totals as ``executor.proc.*``
+        gauges, and returns the merged dict.  The totals are monotonic
+        across crash/restart cycles; ``workers_reporting`` counts only
+        the current pool's workers.
         """
         with self._lock:
             snapshots = list(self._worker_stats.values())
+            retired = dict(self._retired_totals)
         merged = {
             "workers_reporting": len(snapshots),
-            "queries": sum(s.get("queries", 0) for s in snapshots),
-            "fast_path_hits": sum(s.get("fast_path_hits", 0) for s in snapshots),
-            "streamed": sum(s.get("streamed", 0) for s in snapshots),
+            "queries": retired["queries"]
+            + sum(s.get("queries", 0) for s in snapshots),
+            "fast_path_hits": retired["fast_path_hits"]
+            + sum(s.get("fast_path_hits", 0) for s in snapshots),
+            "streamed": retired["streamed"]
+            + sum(s.get("streamed", 0) for s in snapshots),
         }
         _obs.gauge("executor.proc.fast_path_hits").set(merged["fast_path_hits"])
         _obs.gauge("executor.proc.streamed").set(merged["streamed"])

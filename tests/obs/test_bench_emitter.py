@@ -73,6 +73,42 @@ class TestLogging:
         assert line["event"] == "build.pass"
         assert line["number"] == 1
         assert "ts" in line
+        # ISO-8601 UTC companion timestamp on every record.
+        assert line["time"].endswith("+00:00")
+        assert line["time"][:4].isdigit()
+
+    def test_log_event_carries_ambient_trace_id(self, enabled_registry):
+        import io
+
+        from repro.obs import log_event, set_log_stream, trace
+
+        stream = io.StringIO()
+        set_log_stream(stream)
+        try:
+            log_event("untraced")
+            with trace("feed0000deadbeef"):
+                log_event("traced")
+        finally:
+            set_log_stream(None)
+        untraced, traced = (
+            json.loads(line) for line in stream.getvalue().splitlines()
+        )
+        assert "trace_id" not in untraced
+        assert traced["trace_id"] == "feed0000deadbeef"
+
+    def test_latency_summary_ms_block(self):
+        from repro.obs import Histogram
+        from repro.obs.bench import latency_summary_ms
+
+        histogram = Histogram()
+        for value in (1_000_000.0, 2_000_000.0, 4_000_000.0):
+            histogram.observe(value)
+        block = latency_summary_ms(histogram)
+        assert block["count"] == 3
+        assert 1.0 <= block["p50_ms"] <= 4.0
+        assert block["p50_ms"] <= block["p95_ms"] <= block["p99_ms"]
+        empty = latency_summary_ms(Histogram())
+        assert empty == {"count": 0, "p50_ms": None, "p95_ms": None, "p99_ms": None}
 
     def test_log_event_silent_when_disabled(self):
         import io

@@ -44,6 +44,87 @@ class TestMetricTypes:
         assert gauge.value == 7.5
 
 
+class TestHistogramQuantiles:
+    """Log-scale bucket quantiles: ~19% resolution, clamped to the
+    observed range, exact under merge."""
+
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.percentiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_single_observation_all_quantiles_equal_it(self):
+        histogram = Histogram()
+        histogram.observe(12_345.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(12_345.0)
+
+    def test_quantiles_within_bucket_resolution(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=11.0, sigma=1.2, size=5_000)
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(float(value))
+        for q in (0.5, 0.95, 0.99):
+            true = float(np.quantile(values, q))
+            estimate = histogram.quantile(q)
+            # Buckets grow by 2**0.25 (~19%); the estimate is a bucket
+            # upper bound, so it sits within one bucket of the truth.
+            assert true * 0.8 <= estimate <= true * 1.25
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram()
+        for value in (100.0, 105.0, 110.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) >= 100.0
+        assert histogram.quantile(1.0) <= 110.0
+
+    def test_to_dict_includes_percentiles_and_legacy_keys(self):
+        histogram = Histogram()
+        for value in (10.0, 20.0, 60.0):
+            histogram.observe(value)
+        exported = histogram.to_dict()
+        for key in ("count", "total", "min", "max", "mean", "p50", "p95", "p99"):
+            assert key in exported
+        assert exported["p50"] is not None
+
+    def test_merge_equals_single_histogram(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(mean=10.0, sigma=1.0, size=2_000)
+        merged, whole = Histogram(), Histogram()
+        parts = [Histogram() for _ in range(4)]
+        for index, value in enumerate(values):
+            parts[index % 4].observe(float(value))
+            whole.observe(float(value))
+        for part in parts:
+            assert merged.merge(part) is merged
+        assert merged.count == whole.count
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert merged.total == pytest.approx(whole.total)
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_empty_is_identity(self):
+        histogram = Histogram()
+        histogram.observe(5.0)
+        before = histogram.to_dict()
+        histogram.merge(Histogram())
+        assert histogram.to_dict() == before
+
+
 class TestThreadSafety:
     """The registry is shared by executor workers; increments must not
     be lost to read-modify-write races."""
@@ -88,6 +169,19 @@ class TestThreadSafety:
         expected = self.THREADS * self.INCREMENTS
         assert histogram.count == expected
         assert histogram.total == float(expected)
+
+    def test_histogram_merge_during_observes_loses_nothing(self):
+        source = Histogram()
+        destination = Histogram()
+
+        def observe_and_merge():
+            source.observe(100.0)
+            Histogram().merge(source)  # concurrent reader of source
+
+        self._hammer(observe_and_merge)
+        destination.merge(source)
+        assert destination.count == self.THREADS * self.INCREMENTS
+        assert destination.quantile(0.5) == pytest.approx(100.0)
 
     def test_snapshot_during_metric_creation(self):
         import threading

@@ -1,0 +1,149 @@
+"""Tests for the threshold-triggered slow-query log."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import SVDDCompressor
+from repro.obs.slowlog import SlowQueryLog, slow_query_log
+from repro.query import AggregateQuery, CellQuery, QueryEngine, Selection
+
+
+@pytest.fixture()
+def armed_log():
+    """The process-wide slow log armed at threshold zero, then disarmed."""
+    stream = io.StringIO()
+    slow_query_log.configure(0.0, stream=stream)
+    try:
+        yield slow_query_log, stream
+    finally:
+        slow_query_log.disable()
+
+
+def _tiny_engine(rng):
+    matrix = rng.standard_normal((40, 4)) @ rng.standard_normal((4, 20))
+    return QueryEngine(SVDDCompressor(budget_fraction=0.2).fit(matrix))
+
+
+class TestConfiguration:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.threshold_ns is None
+
+    def test_unconfigured_records_nothing(self):
+        log = SlowQueryLog()
+
+        class Profile:
+            total_ns = 10**12
+            trace_id = "x"
+
+        assert log.maybe_record(CellQuery(0, 0), Profile()) is None
+        assert len(log.recent) == 0
+
+    def test_configure_and_disable(self):
+        log = SlowQueryLog()
+        log.configure(2.5)
+        assert log.enabled
+        assert log.threshold_ns == 2_500_000
+        log.disable()
+        assert not log.enabled
+        assert len(log.recent) == 0
+
+    def test_capacity_bounds_ring(self):
+        log = SlowQueryLog(capacity=3)
+        log.configure(0.0)
+
+        class Profile:
+            total_ns = 1
+            trace_id = ""
+
+            @staticmethod
+            def to_dict():
+                return {}
+
+        for index in range(10):
+            log.maybe_record(CellQuery(index, 0), Profile())
+        assert len(log.recent) == 3
+        assert log.recent[-1]["query"] == "cell(9, 0)"
+
+
+class TestEngineIntegration:
+    def test_slow_query_lands_with_full_profile(self, rng, enabled_registry, armed_log):
+        log, stream = armed_log
+        engine = _tiny_engine(rng)
+        engine.aggregate(
+            AggregateQuery("avg", Selection(rows=range(0, 10), cols=range(0, 5)))
+        )
+        records = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert records, "threshold-zero query did not land in the slow log"
+        record = records[-1]
+        assert record["event"] == "query.slow"
+        assert record["query"] == "avg() rows 0:10 cols 0:5"
+        assert record["total_ms"] > 0
+        assert record["time"].endswith("+00:00")
+        # Full forensic payload: profile and span tree, joined by trace id.
+        assert record["profile"]["path"] in ("factor", "stream")
+        assert record["span_tree"]["name"] == "query.aggregate"
+        assert record["trace_id"] == record["span_tree"]["trace_id"]
+        assert enabled_registry.snapshot()["counters"]["slowlog.records"] >= 1
+
+    def test_cell_query_formatted(self, rng, enabled_registry, armed_log):
+        log, stream = armed_log
+        engine = _tiny_engine(rng)
+        engine.cell(CellQuery(3, 5))
+        record = json.loads(stream.getvalue().splitlines()[-1])
+        assert record["query"] == "cell(3, 5)"
+        assert record["span_tree"]["name"] == "query.cell"
+
+    def test_fast_queries_below_threshold_not_logged(self, rng, enabled_registry):
+        stream = io.StringIO()
+        slow_query_log.configure(60_000.0, stream=stream)  # one minute
+        try:
+            engine = _tiny_engine(rng)
+            engine.cell(CellQuery(0, 0))
+            assert stream.getvalue() == ""
+            assert len(slow_query_log.recent) == 0
+        finally:
+            slow_query_log.disable()
+
+    def test_disabled_telemetry_means_no_slow_records(self, rng):
+        from repro.obs import registry
+
+        assert not registry.enabled
+        stream = io.StringIO()
+        slow_query_log.configure(0.0, stream=stream)
+        try:
+            engine = _tiny_engine(rng)
+            engine.cell(CellQuery(0, 0))
+            # No profile is built while telemetry is off, so the engine
+            # never reaches the slow-log hook.
+            assert stream.getvalue() == ""
+        finally:
+            slow_query_log.disable()
+
+    def test_records_append_to_jsonl_file(self, tmp_path, rng, enabled_registry):
+        path = tmp_path / "slow.jsonl"
+        slow_query_log.configure(0.0, path=path)
+        try:
+            engine = _tiny_engine(rng)
+            engine.cell(CellQuery(1, 1))
+            engine.cell(CellQuery(2, 2))
+        finally:
+            slow_query_log.disable()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["query"] == "cell(2, 2)"
+
+
+class TestQueryFormatting:
+    def test_open_ended_selection_renders_colons(self):
+        query = AggregateQuery("sum", Selection(rows=None, cols=range(3, 9)))
+        assert SlowQueryLog._format_query(query) == "sum() rows : cols 3:9"
+
+    def test_unknown_object_falls_back_to_repr(self):
+        assert SlowQueryLog._format_query(42) == "42"

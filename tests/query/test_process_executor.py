@@ -166,6 +166,83 @@ class TestProfiles:
         assert snapshot["gauges"]["executor.proc.workers"] == 2.0
 
 
+class TestTracePropagation:
+    def test_results_carry_worker_span_trees(self, model_dir, enabled_registry):
+        from repro.obs.tracing import span
+
+        with ProcessQueryExecutor(model_dir, max_workers=2) as executor:
+            with span("caller") as caller:
+                results = executor.map(_mixed_queries((100, 36), count=6))
+        for result in results:
+            tree = result.profile.extra["worker_span"]
+            assert tree["name"] == "query.worker"
+            assert tree["trace_id"] == result.profile.trace_id
+            assert tree["children"], "engine spans missing under worker span"
+        # map() grafted every worker tree under the caller's live span.
+        worker_spans = [c for c in caller.children if c.name == "query.worker"]
+        assert len(worker_spans) == 6
+
+    def test_ambient_trace_spans_caller_and_worker(self, model_dir, enabled_registry):
+        from repro.obs.tracing import span, trace
+
+        with ProcessQueryExecutor(model_dir, max_workers=1) as executor:
+            with trace("beef0000beef0000"), span("caller") as caller:
+                executor.map([CellQuery(1, 2)])
+        assert caller.trace_id == "beef0000beef0000"
+        (worker,) = caller.children
+        assert worker.trace_id == "beef0000beef0000"
+        assert worker.find("query.cell").trace_id == "beef0000beef0000"
+
+    def test_no_trace_overhead_when_disabled(self, model_dir):
+        from repro.obs import registry
+
+        assert not registry.enabled
+        with ProcessQueryExecutor(model_dir, max_workers=1) as executor:
+            result = executor.submit(CellQuery(0, 0)).result()
+        assert result.profile is None
+
+    def test_submit_exposes_worker_span_for_manual_graft(
+        self, model_dir, enabled_registry
+    ):
+        with ProcessQueryExecutor(model_dir, max_workers=1) as executor:
+            result = executor.submit(CellQuery(2, 3)).result()
+        assert result.profile.extra["worker_span"]["name"] == "query.worker"
+
+
+class TestRetiredTotals:
+    def test_worker_metrics_monotonic_across_crash(self, model_dir, enabled_registry):
+        queries = _mixed_queries((100, 36), count=10)
+        with ProcessQueryExecutor(model_dir, max_workers=2) as executor:
+            executor.map(queries, chunksize=2)
+            before = executor.worker_metrics()
+            assert before["queries"] == 10
+            with pytest.raises(BrokenProcessPool):
+                executor.submit(_CrashProbe()).result()
+            # Rebuilt pool: new worker processes restart their counters
+            # at zero, but the merged view keeps the retired totals.
+            executor.map(queries, chunksize=2)
+            after = executor.worker_metrics()
+        assert after["queries"] == 20
+        assert after["fast_path_hits"] >= before["fast_path_hits"]
+        assert after["streamed"] >= before["streamed"]
+        assert after["workers_reporting"] >= 1
+
+    def test_totals_survive_repeated_rebuilds(self, model_dir, enabled_registry):
+        with ProcessQueryExecutor(model_dir, max_workers=1) as executor:
+            totals = []
+            for _ in range(3):
+                executor.map([(0, 0), (1, 1)])
+                totals.append(executor.worker_metrics()["queries"])
+                with pytest.raises(BrokenProcessPool):
+                    executor.submit(_CrashProbe()).result()
+            assert totals == [2, 4, 6]
+        # Rebuilds are lazy (first submit against a broken pool), so the
+        # final crash — with no submit after it — never triggers one.
+        assert (
+            enabled_registry.snapshot()["counters"]["executor.proc.restarts"] == 2
+        )
+
+
 class TestRefresh:
     def test_refresh_remaps_workers_after_append(self, tmp_path, rng):
         from repro.core.update import append_rows

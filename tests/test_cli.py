@@ -214,6 +214,174 @@ class TestTelemetryFlags:
         assert "span.query.cell" in registry_dump["histograms"]
 
 
+class TestObservabilityCommands:
+    @pytest.fixture(autouse=True)
+    def _restore_registry(self):
+        from repro.obs import registry
+        from repro.obs.slowlog import slow_query_log
+
+        yield
+        slow_query_log.disable()
+        registry.disable()
+        registry.reset()
+
+    def test_batch_profile_process_mode_prints_grafted_tree(
+        self, model_dir, capsys
+    ):
+        code = main(
+            [
+                "batch",
+                str(model_dir),
+                "--query",
+                "avg() rows 0:20 cols 0:10",
+                "--query",
+                "cell(3, 5)",
+                "--mode",
+                "process",
+                "--workers",
+                "2",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        tree = json.loads(out[out.index("{") :])
+        assert tree["name"] == "batch"
+        workers = [c for c in tree["children"] if c["name"] == "query.worker"]
+        assert len(workers) == 2
+        # One coherent trace family across the caller and both workers.
+        assert {w["trace_id"] for w in workers} == {tree["trace_id"]}
+        assert any(w["children"] for w in workers)
+
+    def test_batch_slow_log_captures_queries(self, model_dir, tmp_path, capsys):
+        slow = tmp_path / "slow.jsonl"
+        code = main(
+            [
+                "batch",
+                str(model_dir),
+                "--query",
+                "avg() rows 0:20 cols 0:10",
+                "--mode",
+                "sequential",
+                "--slow-ms",
+                "0.0",
+                "--slow-log",
+                str(slow),
+            ]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in slow.read_text().splitlines()]
+        assert records
+        assert records[0]["event"] == "query.slow"
+        assert records[0]["total_ms"] > 0
+        assert records[0]["profile"]["path"] in ("factor", "stream")
+
+    def test_serve_metrics_endpoint_round_trip(self, model_dir, tmp_path, capsys):
+        import threading
+        import urllib.request
+
+        from repro.obs.export import validate_openmetrics
+
+        snapshots = tmp_path / "metrics.jsonl"
+        # Find the bound port from the stdout banner printed at startup.
+        worker = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve-metrics",
+                    "--model",
+                    str(model_dir),
+                    "--port",
+                    "0",
+                    "--exercise",
+                    "8",
+                    "--interval",
+                    "0.1",
+                    "--duration",
+                    "2.0",
+                    "--snapshots",
+                    str(snapshots),
+                ],
+            ),
+        )
+        worker.start()
+        try:
+            import time
+
+            url = None
+            for _ in range(100):
+                time.sleep(0.05)
+                out = capsys.readouterr().out
+                if "serving metrics on" in out:
+                    url = out.split()[3]
+                    break
+            assert url, "serve-metrics never printed its URL"
+            with urllib.request.urlopen(url + "/healthz") as reply:
+                assert reply.read() == b"ok\n"
+            with urllib.request.urlopen(url + "/metrics") as reply:
+                families = validate_openmetrics(reply.read().decode())
+            assert "repro_span_query_cell" in families
+        finally:
+            worker.join(timeout=30)
+        assert not worker.is_alive()
+        lines = snapshots.read_text().splitlines()
+        assert lines
+        assert "span.query.cell" in json.loads(lines[-1])["snapshot"]["histograms"]
+
+
+class TestTopFrame:
+    def _snapshot(self, queries=100, hits=90, misses=10):
+        return {
+            "enabled": True,
+            "counters": {"executor.queries": queries, "slowlog.records": 2},
+            "gauges": {"executor.workers": 4.0, "executor.concurrency": 1.0},
+            "histograms": {
+                "span.query.cell": {
+                    "count": queries,
+                    "p50": 50_000.0,
+                    "p95": 200_000.0,
+                    "p99": 900_000.0,
+                    "min": 10_000.0,
+                    "max": 1_000_000.0,
+                }
+            },
+            "pools": {"u.mat": {"hits": hits, "misses": misses}},
+        }
+
+    def test_totals_frame_without_previous(self):
+        from repro.cli import format_top_frame
+
+        frame = format_top_frame(self._snapshot())
+        assert "100 queries total" in frame
+        assert "90.0%" in frame
+        assert "slow 2" in frame
+        assert "span.query.cell" in frame
+        assert "0.050" in frame  # p50 in ms
+        assert "workers=4" in frame
+
+    def test_rate_frame_differences_counters(self):
+        from repro.cli import format_top_frame
+
+        frame = format_top_frame(
+            self._snapshot(queries=300), prev=self._snapshot(queries=100), dt=2.0
+        )
+        assert "100.0 qps" in frame
+
+    def test_engine_only_traffic_counts_via_span_histograms(self):
+        from repro.cli import format_top_frame
+
+        snapshot = self._snapshot(queries=0)
+        snapshot["histograms"]["span.query.cell"]["count"] = 40
+        frame = format_top_frame(snapshot)
+        assert "40 queries total" in frame
+
+    def test_empty_snapshot_renders(self):
+        from repro.cli import format_top_frame
+
+        frame = format_top_frame({"counters": {}, "gauges": {}, "histograms": {}})
+        assert "no span.query histograms" in frame
+
+
 class TestScatterAndDatasets:
     def test_scatter(self, capsys):
         assert main(["scatter", "phone100", "--width", "40", "--height", "10"]) == 0
