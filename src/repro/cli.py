@@ -16,6 +16,11 @@ Gives the library the operational surface a deployed system would have:
   worker processes sharing the model through mmap);
 - ``stats``   — run a random-cell workload with telemetry enabled and
   dump the metrics registry (pool/pager counters, span timings) as JSON;
+- ``serve``   — serve a model over HTTP (``/query``, ``/cell``,
+  ``/aggregate``, ``/explain``, ``/stats``, ``/healthz`` live/ready,
+  ``/metrics``) on the multiprocess executor, with bounded admission,
+  load shedding (503 + Retry-After), per-request deadlines, brownout
+  degradation, and graceful SIGTERM drain;
 - ``serve-metrics`` — expose the live registry over HTTP (``/metrics``
   OpenMetrics text for Prometheus, ``/healthz``, ``/snapshot`` JSON),
   optionally exercising a model and writing rotating JSONL snapshots;
@@ -359,14 +364,21 @@ def cmd_serve_metrics(args) -> int:
 
     Enables telemetry, starts the embedded
     :class:`~repro.obs.serve.MetricsServer` (``/metrics`` OpenMetrics
-    text, ``/healthz``, ``/snapshot`` JSON), and ticks every
-    ``--interval`` seconds until ``--duration`` elapses (forever when
-    omitted).  Each tick optionally runs ``--exercise`` random cell
-    queries against ``--model`` (so latency histograms and pool
-    counters are live even without external traffic) and appends one
-    registry snapshot to the rotating JSONL file at ``--snapshots``.
-    ``--slow-ms`` arms the slow-query log, to ``--slow-log`` if given.
+    text, ``/healthz`` + ``/healthz/live`` + ``/healthz/ready``,
+    ``/snapshot`` JSON), and ticks every ``--interval`` seconds until
+    ``--duration`` elapses (forever when omitted).  Each tick
+    optionally runs ``--exercise`` random cell queries against
+    ``--model`` (so latency histograms and pool counters are live even
+    without external traffic) and appends one registry snapshot to the
+    rotating JSONL file at ``--snapshots``.  ``--slow-ms`` arms the
+    slow-query log, to ``--slow-log`` if given.
+
+    SIGTERM and SIGINT both drain gracefully — the same discipline as
+    ``repro serve``: readiness flips to 503 first, in-flight scrapes
+    get a bounded grace to finish, and the process exits 0.
     """
+    import signal
+    import threading
     import time
 
     from repro.obs.export import MetricsSnapshotWriter
@@ -381,19 +393,25 @@ def cmd_serve_metrics(args) -> int:
     rng = np.random.default_rng(args.seed)
     writer = MetricsSnapshotWriter(args.snapshots) if args.snapshots else None
     server = MetricsServer(host=args.host, port=args.port).start()
+    stop_event = threading.Event()
+    # Handlers only exist on the main thread; embedded runs (tests
+    # driving the CLI from a worker thread) rely on --duration instead.
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop_event.set())
     try:
         if args.model:
             store = CompressedMatrix.open(args.model)
             engine = QueryEngine(store)
         print(
             f"serving metrics on {server.url}  "
-            "(routes: /metrics /healthz /snapshot)"
+            "(routes: /metrics /healthz /healthz/ready /snapshot)"
         )
         sys.stdout.flush()
         deadline = (
             time.monotonic() + args.duration if args.duration is not None else None
         )
-        while True:
+        while not stop_event.is_set():
             if engine is not None and args.exercise:
                 rows, cols = store.shape
                 for index in range(args.exercise):
@@ -417,15 +435,83 @@ def cmd_serve_metrics(args) -> int:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
-                time.sleep(min(args.interval, remaining))
+                stop_event.wait(min(args.interval, remaining))
             else:
-                time.sleep(args.interval)
+                stop_event.wait(args.interval)
     except KeyboardInterrupt:
         pass
     finally:
+        # Graceful drain: readiness flips before the listener closes, so
+        # an orchestrator's next /healthz/ready probe sees 503 while any
+        # in-flight scrape still finishes inside the grace period.
         server.stop()
         if store is not None:
             store.close()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Handle ``repro serve``: the fault-tolerant query HTTP tier.
+
+    Serves one model directory (or a warehouse dataset via ``--root`` +
+    ``--dataset``) over :class:`~repro.serve.server.QueryServer`:
+    multiprocess query execution behind bounded admission, per-request
+    deadlines, load shedding with ``Retry-After``, brownout (SVD-only)
+    degradation, and a breaker over worker crash-loops.  SIGTERM/SIGINT
+    drain gracefully and exit 0.
+    """
+    from repro.serve import QueryServer, ServeConfig
+
+    registry.enable()
+    if args.slow_ms is not None:
+        from repro.obs.slowlog import slow_query_log
+
+        slow_query_log.configure(args.slow_ms, path=args.slow_log)
+    verified_rmspe = None
+    if args.model:
+        model_dir = Path(args.model)
+    else:
+        if not args.root or not args.dataset:
+            raise ReproError(
+                "serve needs a model directory, or --root and --dataset"
+            )
+        from repro.warehouse import Warehouse
+
+        warehouse = Warehouse(args.root)
+        entry = warehouse.entry(args.dataset)
+        verified_rmspe = entry.verified_rmspe
+        model_dir = Path(args.root) / args.dataset / "model"
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_queue_age_ms=args.max_queue_age_ms,
+        default_timeout_ms=args.default_timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
+        retry_after_s=args.retry_after_s,
+        drain_grace_s=args.drain_grace_s,
+        breaker_failures=args.breaker_failures,
+        breaker_window_s=args.breaker_window_s,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        brownout_sheds=args.brownout_sheds,
+        brownout_window_s=args.brownout_window_s,
+        on_corrupt="degraded" if args.allow_degraded else "raise",
+    )
+    server = QueryServer(model_dir, config, verified_rmspe=verified_rmspe)
+    server.start()
+    server.install_signal_handlers()
+    print(
+        f"serving {model_dir} on {server.url}  "
+        "(routes: /query /cell /aggregate /explain /stats /healthz /metrics)"
+    )
+    sys.stdout.flush()
+    drained = server.serve_until_shutdown(duration_s=args.duration)
+    if not drained:
+        print(
+            "drain grace expired with requests still in flight",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -796,6 +882,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--pool-capacity", type=int, default=64, help="U-store buffer pool pages"
     )
     stats.set_defaults(func=cmd_stats)
+
+    serve_q = sub.add_parser(
+        "serve",
+        help="serve a model over HTTP with admission control, deadlines, "
+        "load shedding, and graceful degradation",
+    )
+    serve_q.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="model directory (or use --root/--dataset)",
+    )
+    serve_q.add_argument("--root", default=None, help="warehouse root directory")
+    serve_q.add_argument(
+        "--dataset", default=None, help="warehouse dataset name to serve"
+    )
+    serve_q.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_q.add_argument(
+        "--port", type=int, default=9465, help="TCP port (0 picks a free one)"
+    )
+    serve_q.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: cores)"
+    )
+    serve_q.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="admitted-but-unfinished request ceiling before shedding",
+    )
+    serve_q.add_argument(
+        "--max-queue-age-ms",
+        type=float,
+        default=2000.0,
+        help="shed new requests when the oldest queued one is this stale",
+    )
+    serve_q.add_argument(
+        "--default-timeout-ms",
+        type=float,
+        default=5000.0,
+        help="per-request deadline when the client sends none",
+    )
+    serve_q.add_argument(
+        "--max-timeout-ms",
+        type=float,
+        default=60000.0,
+        help="ceiling on client-requested deadlines",
+    )
+    serve_q.add_argument(
+        "--retry-after-s",
+        type=float,
+        default=1.0,
+        help="Retry-After hint on shed (503) responses",
+    )
+    serve_q.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=5.0,
+        help="SIGTERM waits this long for in-flight requests",
+    )
+    serve_q.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        help="pool rebuilds within the window that trip the breaker",
+    )
+    serve_q.add_argument(
+        "--breaker-window-s", type=float, default=30.0, help="breaker failure window"
+    )
+    serve_q.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=5.0,
+        help="open-state dwell before a half-open probe",
+    )
+    serve_q.add_argument(
+        "--brownout-sheds",
+        type=int,
+        default=8,
+        help="sheds within the window that trigger brownout (SVD-only answers)",
+    )
+    serve_q.add_argument(
+        "--brownout-window-s", type=float, default=10.0, help="brownout shed window"
+    )
+    serve_q.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="serve even if the delta sidecar fails verification "
+        "(answers stamped degraded)",
+    )
+    serve_q.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="exit (with a graceful drain) after this many seconds",
+    )
+    serve_q.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="arm the slow-query log at this threshold (milliseconds)",
+    )
+    serve_q.add_argument(
+        "--slow-log", default=None, help="JSONL file for slow-query records"
+    )
+    serve_q.set_defaults(func=cmd_serve)
 
     serve = sub.add_parser(
         "serve-metrics",

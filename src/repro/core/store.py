@@ -638,6 +638,28 @@ class CompressedMatrix:
         base = float(np.dot(u_row * self._eigenvalues, self._v[col]))
         return base + self._delta_for(row, col)
 
+    def svd_cell(self, row: int, col: int) -> float:
+        """Reconstruct one cell from the SVD factors alone (no delta probe).
+
+        The rank-k approximation the paper calls x-hat, before outlier
+        correction: still one U-row disk access + O(k) arithmetic, but
+        deliberately skipping the delta lookup.  The serving tier's
+        brownout mode answers with this when the delta subsystem is
+        unavailable or being shed, alongside the model's stored RMSPE
+        estimate.
+        """
+        rows, cols = self.shape
+        if not 0 <= row < rows:
+            raise QueryError(f"row {row} out of range [0, {rows})")
+        if not 0 <= col < cols:
+            raise QueryError(f"col {col} out of range [0, {cols})")
+        self._bump("cell_queries")
+        if row in self._zero_rows:
+            self._bump("zero_row_skips")
+            return 0.0
+        u_row = self._u_store.row(row)[: self.cutoff]
+        return float(np.dot(u_row * self._eigenvalues, self._v[col]))
+
     def row(self, row: int) -> np.ndarray:
         """Reconstruct a whole row — still a single U-row access."""
         rows, cols = self.shape

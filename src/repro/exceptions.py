@@ -58,5 +58,32 @@ class QueryError(ReproError, ValueError):
     """A query referenced cells outside the matrix or was malformed."""
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A query's deadline expired before (or while) it was answered.
+
+    Raised by the executors when a queued query's deadline passes before
+    a worker picks it up, and by the serving tier when an admitted
+    request runs out of time.  Crosses the pickle boundary intact (the
+    worker constructs it with a single message argument).
+    """
+
+
+class OverloadedError(ReproError):
+    """The serving tier shed a request instead of queueing it unboundedly.
+
+    Carries ``retry_after_s`` — the backoff hint the HTTP tier turns
+    into a ``Retry-After`` header — and ``reason`` (``"depth"``,
+    ``"age"``, ``"drain"``, ``"brownout"``, or ``"breaker"``) naming
+    which guard fired.
+    """
+
+    def __init__(
+        self, message: str, retry_after_s: float = 1.0, reason: str = "depth"
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.reason = reason
+
+
 class DatasetError(ReproError, ValueError):
     """A dataset could not be generated or loaded as requested."""

@@ -155,12 +155,27 @@ class QueryEngine:
             O(rows * cols * k) — falling back to row streaming for
             min/max and non-factor backends.  The two paths agree to
             float tolerance (asserted in the test suite).
+        include_deltas: with False, answer from the SVD factors alone —
+            factor-space aggregates skip the delta fold and cell
+            queries use :meth:`CompressedMatrix.svd_cell` when the
+            backend offers it.  This is the serving tier's brownout
+            engine: answers are the paper's rank-k approximation with
+            bounded RMSPE, never the delta-corrected exact-outlier
+            values.  Aggregates that genuinely need per-cell values
+            (min/max, non-factor backends) raise :class:`QueryError`
+            instead of silently streaming delta-corrected rows.
     """
 
-    def __init__(self, backend, use_fast_path: bool = True) -> None:
+    def __init__(
+        self,
+        backend,
+        use_fast_path: bool = True,
+        include_deltas: bool = True,
+    ) -> None:
         self._raw_backend = backend
         self._backend = _Backend(backend)
         self._use_fast_path = use_fast_path
+        self._include_deltas = include_deltas
         self.stats = {"fast_path_hits": 0, "streamed": 0}
         # Query evaluation itself is stateless per call; this lock only
         # guards the path counters so concurrent executor workers can
@@ -225,13 +240,16 @@ class QueryEngine:
             raise QueryError(f"row {query.row} out of range [0, {rows})")
         if not 0 <= query.col < cols:
             raise QueryError(f"col {query.col} out of range [0, {cols})")
+        if not self._include_deltas and hasattr(raw, "svd_cell"):
+            fetch = lambda: float(raw.svd_cell(query.row, query.col))  # noqa: E731
+        else:
+            fetch = lambda: backend.cell(query.row, query.col)  # noqa: E731
         if not _obs.enabled:
-            value = backend.cell(query.row, query.col)
-            return QueryResult(value=value, cells_touched=1, rows_fetched=1)
+            return QueryResult(value=fetch(), cells_touched=1, rows_fetched=1)
         capture = StatDelta(raw)
         start = time.perf_counter_ns()
         with _span("query.cell", row=query.row, col=query.col) as root:
-            value = backend.cell(query.row, query.col)
+            value = fetch()
         profile = QueryProfile(
             path="cell",
             function=None,
@@ -328,7 +346,13 @@ class QueryEngine:
         if row_idx.size == 0 or col_idx.size == 0:
             raise QueryError("aggregate over an empty selection")
         if self._use_fast_path:
-            outcome = factor_aggregate(raw, row_idx, col_idx, query.function)
+            outcome = factor_aggregate(
+                raw,
+                row_idx,
+                col_idx,
+                query.function,
+                include_deltas=self._include_deltas,
+            )
             if outcome is not None:
                 value, rows_fetched = outcome
                 with self._stats_lock:
@@ -341,6 +365,14 @@ class QueryEngine:
                     ),
                     "factor",
                 )
+        if not self._include_deltas:
+            # Streaming reconstructs delta-corrected rows, which would
+            # silently un-degrade the answer — refuse instead so the
+            # serving tier can shed these during brownout.
+            raise QueryError(
+                f"aggregate {query.function!r} needs per-cell values, which "
+                "the SVD-only (brownout) engine cannot provide"
+            )
         with self._stats_lock:
             self.stats["streamed"] += 1
         total = 0.0

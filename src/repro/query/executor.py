@@ -41,7 +41,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.exceptions import QueryError
+from repro.exceptions import DeadlineExceededError, QueryError
 from repro.obs.registry import registry as _obs
 from repro.obs.tracing import current_trace_id, new_trace_id, trace
 from repro.query.engine import AggregateQuery, CellQuery, QueryEngine, QueryResult
@@ -282,9 +282,16 @@ class QueryExecutor:
         """The shared engine (e.g. for ``explain`` or path stats)."""
         return self._engine
 
-    def submit(self, query) -> "Future[QueryResult]":
+    def submit(self, query, deadline_ns: int | None = None) -> "Future[QueryResult]":
         """Schedule one query; returns a future of its
-        :class:`~repro.query.engine.QueryResult`."""
+        :class:`~repro.query.engine.QueryResult`.
+
+        ``deadline_ns`` (a ``time.monotonic_ns`` instant) makes the
+        worker drop the query with
+        :class:`~repro.exceptions.DeadlineExceededError` if it is still
+        queued when the deadline passes — queued-but-doomed work never
+        occupies a worker.
+        """
         coerced = self._coerce(query)
         # Each query gets its trace id at submit time — inheriting the
         # caller's ambient trace when one is active — so the worker
@@ -302,7 +309,7 @@ class QueryExecutor:
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("QueryExecutor is shut down")
-            return self._pool.submit(self._run_one, coerced, trace_id)
+            return self._pool.submit(self._run_one, coerced, trace_id, deadline_ns)
 
     def map(self, queries) -> list:
         """Run ``queries`` across the pool; results in submission order.
@@ -334,8 +341,18 @@ class QueryExecutor:
         """Normalize the accepted query forms to engine query objects."""
         return coerce_query(query)
 
-    def _run_one(self, query, trace_id: str | None = None) -> QueryResult:
+    def _run_one(
+        self,
+        query,
+        trace_id: str | None = None,
+        deadline_ns: int | None = None,
+    ) -> QueryResult:
         """Worker body: execute one query with in-flight accounting."""
+        if deadline_ns is not None and time.monotonic_ns() >= deadline_ns:
+            _obs.counter("executor.deadline_drops").inc()
+            raise DeadlineExceededError(
+                "deadline expired before a worker picked the query up"
+            )
         gauge = _obs.gauge("executor.concurrency")
         gauge.add(1.0)
         try:

@@ -116,12 +116,18 @@ def factor_aggregate(
     row_idx: np.ndarray,
     col_idx: np.ndarray,
     function: str,
+    include_deltas: bool = True,
 ) -> tuple[float, int] | None:
     """Evaluate sum/avg/count/stddev in factor space.
 
     Returns ``(value, rows_fetched)`` — ``rows_fetched`` counts the real
     U-row fetches performed (non-zero only for disk-resident backends) —
     or None if the backend or function does not support the fast path.
+
+    ``include_deltas=False`` skips the delta fold entirely and answers
+    from the SVD factors alone — the serving tier's brownout mode, where
+    the answer is the paper's rank-k approximation with its stored
+    RMSPE estimate instead of the delta-corrected value.
     """
     if function not in FACTOR_FUNCTIONS:
         return None
@@ -153,7 +159,7 @@ def factor_aggregate(
             gram = v_sel.T @ v_sel  # (k, k)
             total_sq = float(np.einsum("nk,kl,nl->", scaled_u, gram, scaled_u))
 
-    if index is not None and len(index) > 0:
+    if include_deltas and index is not None and len(index) > 0:
         with _span("query.factor.delta", stored=len(index)):
             row_pos, _col_pos, _rows, delta_cols, values = index.select(
                 row_idx, col_idx

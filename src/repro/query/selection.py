@@ -27,7 +27,26 @@ def _normalize(indices: Iterable[int] | slice | None, extent: int | None) -> np.
         if extent is None:
             raise QueryError("slice selections need a known extent")
         return np.arange(extent, dtype=np.int64)[indices]
-    arr = np.unique(np.asarray(list(indices), dtype=np.int64))
+    if isinstance(indices, range) and indices.step == 1:
+        # Bounds-check before materializing: a hostile 'rows 0:10**21'
+        # from the serving boundary must fail fast as a QueryError, not
+        # allocate a 10**21-element list (or overflow int64).
+        start, stop = indices.start, indices.stop
+        if stop <= start:
+            raise QueryError("selection must include at least one index")
+        # Pure int arithmetic — len()/indexing a humongous range would
+        # themselves overflow.
+        if extent is not None and (start < 0 or stop > extent):
+            raise QueryError(
+                f"selection [{start}, {stop - 1}] outside [0, {extent})"
+            )
+        return np.arange(indices.start, indices.stop, dtype=np.int64)
+    try:
+        arr = np.unique(np.asarray(list(indices), dtype=np.int64))
+    except (OverflowError, ValueError, TypeError) as exc:
+        raise QueryError(
+            f"selection indices must be machine-size integers: {exc}"
+        ) from exc
     if arr.size == 0:
         raise QueryError("selection must include at least one index")
     return arr

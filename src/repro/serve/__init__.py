@@ -1,0 +1,37 @@
+"""Fault-tolerant HTTP serving tier over the multiprocess executor.
+
+The paper's deployment story (Section 1) is a warehouse answering ad
+hoc queries from many analysts; this package is the network front door
+that makes the reproduction *operable* under that load:
+
+- :mod:`repro.serve.config` — one frozen knob bundle
+  (:class:`~repro.serve.config.ServeConfig`) for every robustness
+  threshold;
+- :mod:`repro.serve.admission` — bounded admission with queue-depth
+  and queue-age load shedding (503 + ``Retry-After``);
+- :mod:`repro.serve.breaker` — a circuit breaker fed by worker-pool
+  rebuilds, gating the process pool while it crash-loops;
+- :mod:`repro.serve.robust` — the dispatcher tying deadlines,
+  admission, the breaker and *brownout* (SVD-only degraded answers)
+  around :class:`~repro.query.process_executor.ProcessQueryExecutor`;
+- :mod:`repro.serve.server` — the stdlib HTTP server
+  (:class:`~repro.serve.server.QueryServer`) exposing ``/query``,
+  ``/cell``, ``/aggregate``, ``/explain``, ``/stats``, ``/healthz``
+  (live/ready split) and ``/metrics``, with graceful SIGTERM drain.
+
+``repro serve`` wraps :class:`QueryServer` in a CLI.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.robust import RobustDispatcher
+from repro.serve.server import QueryServer
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "QueryServer",
+    "RobustDispatcher",
+    "ServeConfig",
+]

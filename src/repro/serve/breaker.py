@@ -1,0 +1,132 @@
+"""Circuit breaker over the worker-process pool.
+
+A crashing worker is survivable — the executor rebuilds its pool and
+serving continues — but a crash *loop* (bad model file, OOM treadmill,
+poisoned query replayed by retrying clients) turns every request into
+a multi-second fork-and-fail cycle.  The breaker watches rebuild
+events and, past a threshold, stops feeding the pool entirely:
+
+- **closed** — healthy; requests flow to the pool.
+- **open** — ``failures`` rebuilds landed within ``window_s``; the
+  pool is presumed sick.  Requests divert to the degraded local path
+  (or shed) until ``cooldown_s`` passes.
+- **half-open** — cooldown expired; exactly one probe request is let
+  through.  Success closes the breaker, failure re-opens it and
+  restarts the cooldown.
+
+The three states export as the ``server.breaker_state`` gauge
+(0 = closed, 1 = half-open, 2 = open) and each trip counts into
+``server.breaker_trips``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.obs.registry import registry as _obs
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-windowed breaker with a single half-open probe slot.
+
+    Args:
+        failures: failures within ``window_s`` that trip the breaker.
+        window_s: sliding window over which failures are counted.
+        cooldown_s: open-state dwell before a probe is allowed.
+    """
+
+    def __init__(
+        self, failures: int = 3, window_s: float = 30.0, cooldown_s: float = 5.0
+    ) -> None:
+        self.failures = int(failures)
+        self.window_s = float(window_s)
+        self.cooldown_s = float(cooldown_s)
+        self._lock = threading.Lock()
+        self._events: deque[float] = deque()
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_out = False
+        self._probe_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when cooled down."""
+        with self._lock:
+            return self._advance_locked(time.monotonic())
+
+    def _advance_locked(self, now: float) -> str:
+        if self._state == OPEN and now - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+            self._probe_out = False
+            self._publish_locked()
+        return self._state
+
+    def _publish_locked(self) -> None:
+        _obs.gauge("server.breaker_state").set(_STATE_GAUGE[self._state])
+
+    def record_failure(self) -> None:
+        """Count one failure (a pool rebuild); may trip the breaker.
+
+        Safe to call from any thread — the executor invokes it from
+        whatever thread hit the broken pool.
+        """
+        now = time.monotonic()
+        with self._lock:
+            self._events.append(now)
+            while self._events and now - self._events[0] > self.window_s:
+                self._events.popleft()
+            tripped = len(self._events) >= self.failures
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open.
+                tripped = True
+            if tripped and self._state != OPEN:
+                self._state = OPEN
+                self._opened_at = now
+                self._probe_out = False
+                self.trips += 1
+                _obs.counter("server.breaker_trips").inc()
+                self._publish_locked()
+
+    def record_success(self) -> None:
+        """A pool answer completed; a half-open probe success closes."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._events.clear()
+                self._probe_out = False
+                self._publish_locked()
+
+    def allow(self) -> bool:
+        """May a request be sent to the pool right now?
+
+        Closed: always.  Open: no.  Half-open: the first caller after
+        cooldown gets True (the probe slot); everyone else waits for
+        the probe's verdict.
+        """
+        now = time.monotonic()
+        with self._lock:
+            state = self._advance_locked(now)
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN:
+                # Re-arm an abandoned probe (e.g. its request timed out
+                # without a clean success/failure verdict) after a full
+                # cooldown, or the breaker would wedge half-open.
+                if self._probe_out and now - self._probe_at >= self.cooldown_s:
+                    self._probe_out = False
+                if not self._probe_out:
+                    self._probe_out = True
+                    self._probe_at = now
+                    return True
+            return False

@@ -1,0 +1,104 @@
+"""Serving-tier configuration: every robustness knob in one place.
+
+The thresholds interlock — queue age only means something relative to
+the default deadline, brownout only triggers off shed bursts the
+admission controller produces — so they live in one frozen dataclass
+that the CLI builds from flags and the tests build directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for :class:`~repro.serve.server.QueryServer`.
+
+    Attributes:
+        host: bind address (loopback by default).
+        port: TCP port; 0 picks a free one.
+        workers: process-pool size (None → executor default).
+        max_queue_depth: admitted-but-unfinished request ceiling;
+            beyond it new requests are shed with 503.
+        max_queue_age_ms: when the *oldest* admitted request has been
+            in the system this long, new arrivals are shed — depth says
+            how much is queued, age says how stale the queue is.
+        default_timeout_ms: per-request deadline applied when the
+            client sends none.
+        max_timeout_ms: ceiling on client-requested deadlines (a
+            client asking for an hour still gets this).
+        retry_after_s: the ``Retry-After`` hint attached to shed
+            responses.
+        drain_grace_s: how long SIGTERM waits for in-flight requests
+            before closing anyway.
+        breaker_failures: pool rebuilds within ``breaker_window_s``
+            that trip the circuit breaker open.
+        breaker_window_s: sliding window for counting those failures.
+        breaker_cooldown_s: how long the breaker stays open before
+            letting a probe query test the pool (half-open).
+        brownout_sheds: shed events within ``brownout_window_s`` that
+            flip the server into brownout (SVD-only answers).
+        brownout_window_s: sliding window for counting those sheds.
+        use_fast_path: forwarded to worker engines.
+        on_corrupt: forwarded to ``CompressedMatrix.open`` in workers
+            ("degraded" starts serving even with a damaged delta
+            sidecar — answers carry ``degraded: true``).
+        mp_context: multiprocessing start method override.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int | None = None
+    max_queue_depth: int = 64
+    max_queue_age_ms: float = 2_000.0
+    default_timeout_ms: float = 5_000.0
+    max_timeout_ms: float = 60_000.0
+    retry_after_s: float = 1.0
+    drain_grace_s: float = 5.0
+    breaker_failures: int = 3
+    breaker_window_s: float = 30.0
+    breaker_cooldown_s: float = 5.0
+    brownout_sheds: int = 8
+    brownout_window_s: float = 10.0
+    use_fast_path: bool = True
+    on_corrupt: str = "raise"
+    mp_context: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        for name in (
+            "max_queue_age_ms",
+            "default_timeout_ms",
+            "max_timeout_ms",
+            "retry_after_s",
+            "drain_grace_s",
+            "breaker_window_s",
+            "breaker_cooldown_s",
+            "brownout_window_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.breaker_failures < 1:
+            raise ConfigurationError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.brownout_sheds < 1:
+            raise ConfigurationError(
+                f"brownout_sheds must be >= 1, got {self.brownout_sheds}"
+            )
+
+    def clamp_timeout_ms(self, requested: float | None) -> float:
+        """The effective deadline for one request, in milliseconds."""
+        if requested is None:
+            return min(self.default_timeout_ms, self.max_timeout_ms)
+        return max(1.0, min(float(requested), self.max_timeout_ms))

@@ -1,0 +1,365 @@
+"""The robust dispatcher: deadlines, admission, breaker, brownout.
+
+:class:`RobustDispatcher` is the policy layer between the HTTP handler
+and :class:`~repro.query.process_executor.ProcessQueryExecutor`.  One
+request flows through it as:
+
+1. **drain check** — a draining server sheds immediately (503) so the
+   load balancer's next health probe sees not-ready and moves on;
+2. **admission** — bounded by queue depth and queue age
+   (:mod:`repro.serve.admission`); shed requests never reach the pool;
+3. **deadline** — the clamped per-request timeout becomes a
+   ``monotonic_ns`` instant that travels with the task.  A query still
+   queued when it expires is dropped *in the worker* (no wasted
+   compute); a query still running when it expires fails the waiter
+   with :class:`~repro.exceptions.DeadlineExceededError` (504);
+4. **breaker** — while the worker pool is crash-looping
+   (:mod:`repro.serve.breaker`, fed by the executor's ``on_rebuild``
+   hook), pool dispatch is bypassed entirely;
+5. **brownout** — under sustained shedding, a tripped breaker, or a
+   degraded model open, factor-capable queries are answered *in the
+   parent* from the SVD factors alone
+   (``QueryEngine(include_deltas=False)``): no delta pass, no worker
+   round-trip, an answer stamped ``degraded: true`` with the model's
+   stored residual estimate.  Queries that genuinely need per-cell
+   values (min/max) are shed instead of silently served wrong.
+
+A worker crash mid-request surfaces as ``BrokenProcessPool`` on the
+future; the dispatcher retries exactly once against the rebuilt pool —
+which is what turns "a worker died" into zero client-visible 5xx
+(beyond deadline 504s) in the chaos tests.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+from repro.core.store import CompressedMatrix
+from repro.exceptions import (
+    DeadlineExceededError,
+    FormatError,
+    OverloadedError,
+    StorageError,
+)
+from repro.obs.registry import registry as _obs
+from repro.query.engine import AggregateQuery, CellQuery, QueryEngine
+from repro.query.executor import coerce_query
+from repro.query.fastpath import FACTOR_FUNCTIONS
+from repro.query.process_executor import ProcessQueryExecutor
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import ServeConfig
+
+__all__ = ["RobustDispatcher", "rmspe_estimate"]
+
+
+def rmspe_estimate(model_dir: str | Path) -> float | None:
+    """The model's stored residual error fraction, if recorded.
+
+    ``update_state.json`` tracks the energies the incremental
+    maintenance path needs (total signal energy and the SSE the rank-k
+    truncation left behind); their ratio's square root is the stored
+    estimate of the relative reconstruction error a brownout (SVD-only)
+    answer carries.  None when the model predates the update subsystem.
+    """
+    from repro.core.update import load_update_state
+
+    try:
+        state = load_update_state(model_dir)
+    except (FormatError, StorageError, OSError):
+        return None
+    total = float(state.get("total_energy", 0.0) or 0.0)
+    residual = float(state.get("residual_sse", 0.0) or 0.0)
+    if total <= 0.0:
+        return None
+    return math.sqrt(max(residual, 0.0) / total)
+
+
+class RobustDispatcher:
+    """Admission + deadlines + breaker + brownout around the pool.
+
+    Args:
+        model_dir: a ``CompressedMatrix`` model directory.
+        config: the serving thresholds.
+        verified_rmspe: warehouse-catalog RMSPE to stamp on degraded
+            answers; falls back to the model's stored estimate.
+    """
+
+    def __init__(
+        self,
+        model_dir: str | Path,
+        config: ServeConfig | None = None,
+        verified_rmspe: float | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.model_dir = Path(model_dir)
+        self.admission = AdmissionController(
+            max_depth=self.config.max_queue_depth,
+            max_age_ms=self.config.max_queue_age_ms,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.breaker = CircuitBreaker(
+            failures=self.config.breaker_failures,
+            window_s=self.config.breaker_window_s,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self.executor = ProcessQueryExecutor(
+            self.model_dir,
+            max_workers=self.config.workers,
+            use_fast_path=self.config.use_fast_path,
+            on_corrupt=self.config.on_corrupt,
+            mp_context=self.config.mp_context,
+            on_rebuild=self.breaker.record_failure,
+        )
+        # Parent-side SVD-only engine: the brownout answer path.  A
+        # "degraded" open tolerates a damaged delta sidecar — exactly
+        # the state brownout exists to keep serving through.
+        self._fallback_backend = CompressedMatrix.open(
+            self.model_dir, on_corrupt="degraded", mapped=True
+        )
+        self._fallback = QueryEngine(
+            self._fallback_backend,
+            use_fast_path=self.config.use_fast_path,
+            include_deltas=False,
+        )
+        self.model_degraded = bool(
+            getattr(self._fallback_backend, "degraded", False)
+        )
+        self.rmspe = (
+            verified_rmspe
+            if verified_rmspe is not None
+            else rmspe_estimate(self.model_dir)
+        )
+        self._shed_times: deque[float] = deque()
+        self._shed_lock = threading.Lock()
+        self._draining = False
+        self._closed = False
+        self.degraded_answers = 0
+        self.deadline_misses = 0
+        self.pool_retries = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def warm(self, timeout_s: float = 30.0) -> None:
+        """Fork and bootstrap the worker pool before taking traffic.
+
+        ``ProcessPoolExecutor`` forks lazily on first submit; without a
+        warmup the first real request would pay the full fork +
+        model-open cost inside its deadline.
+        """
+        shape = self._fallback.shape
+        probe = CellQuery(0, 0) if shape[0] and shape[1] else None
+        if probe is not None:
+            self.executor.submit(probe).result(timeout=timeout_s)
+
+    def drain(self) -> bool:
+        """Stop admitting, wait out in-flight work, stop the pool.
+
+        Returns True when in-flight requests finished inside the grace
+        period, False when the grace expired first (the pool is shut
+        down regardless — bounded beats graceful).  Idempotent.
+        """
+        self._draining = True
+        drained = self.admission.wait_idle(self.config.drain_grace_s)
+        self.close()
+        return drained
+
+    def close(self) -> None:
+        """Release the pool and the fallback mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.executor.shutdown(wait=True)
+        self._fallback_backend.close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- brownout accounting --------------------------------------------
+
+    def _note_shed(self) -> None:
+        now = time.monotonic()
+        with self._shed_lock:
+            self._shed_times.append(now)
+            self._prune_sheds_locked(now)
+
+    def _prune_sheds_locked(self, now: float) -> None:
+        window = self.config.brownout_window_s
+        while self._shed_times and now - self._shed_times[0] > window:
+            self._shed_times.popleft()
+
+    def brownout_active(self) -> bool:
+        """True while the server should answer from the SVD fast path
+        only: sustained shedding, a tripped breaker, or a model whose
+        delta sidecar failed verification at open."""
+        if self.model_degraded:
+            active = True
+        elif self.breaker.state == "open":
+            active = True
+        else:
+            now = time.monotonic()
+            with self._shed_lock:
+                self._prune_sheds_locked(now)
+                active = len(self._shed_times) >= self.config.brownout_sheds
+        _obs.gauge("server.brownout").set(1 if active else 0)
+        return active
+
+    # -- dispatch -------------------------------------------------------
+
+    @staticmethod
+    def _can_degrade(query) -> bool:
+        """Can the SVD-only engine answer this query honestly?"""
+        if isinstance(query, CellQuery):
+            return True
+        if isinstance(query, AggregateQuery):
+            return query.function in FACTOR_FUNCTIONS
+        return False
+
+    def dispatch(self, query, timeout_ms: float | None = None) -> dict:
+        """Answer one request under the full robustness policy.
+
+        ``query`` is any executor-accepted form (query text, ``(row,
+        col)``, engine query objects).  Raises:
+
+        - :class:`~repro.exceptions.QueryError` — malformed (→ 400);
+        - :class:`~repro.exceptions.OverloadedError` — shed (→ 503);
+        - :class:`~repro.exceptions.DeadlineExceededError` — out of
+          time (→ 504).
+
+        Returns the response payload dict (value, accounting, degraded
+        stamp, elapsed time).
+        """
+        if self._draining:
+            error = self.admission.shed(
+                "drain", "server is draining; connection will not be retried here"
+            )
+            raise error
+        coerced = coerce_query(query)  # QueryError propagates (→ 400)
+        budget_ms = self.config.clamp_timeout_ms(timeout_ms)
+        start_ns = time.monotonic_ns()
+        deadline_ns = start_ns + int(budget_ms * 1e6)
+        try:
+            ticket = self.admission.admit()
+        except OverloadedError:
+            self._note_shed()
+            raise
+        with ticket:
+            if self.brownout_active():
+                return self._dispatch_degraded(coerced, start_ns)
+            if not self.breaker.allow():
+                # Open breaker but brownout says calm — races between
+                # the two checks land here; treat it as brownout.
+                return self._dispatch_degraded(coerced, start_ns)
+            return self._dispatch_pool(coerced, start_ns, deadline_ns)
+
+    def _dispatch_pool(self, query, start_ns: int, deadline_ns: int) -> dict:
+        """The healthy path: run on the worker pool under a deadline."""
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                future = self.executor.submit(query, deadline_ns=deadline_ns)
+                remaining_s = max(0.0, (deadline_ns - time.monotonic_ns()) / 1e9)
+                result = future.result(timeout=remaining_s)
+                self.breaker.record_success()
+                return self._payload(result, start_ns, degraded=False)
+            except DeadlineExceededError:
+                # Worker-side queue drop: the deadline passed before a
+                # worker picked the task up.  Must precede the
+                # FuturesTimeoutError clause — on modern CPython that
+                # is an alias of builtin TimeoutError, which
+                # DeadlineExceededError subclasses.
+                self.deadline_misses += 1
+                _obs.counter("server.deadline_misses").inc()
+                raise
+            except FuturesTimeoutError:
+                future.cancel()
+                self.deadline_misses += 1
+                _obs.counter("server.deadline_misses").inc()
+                raise DeadlineExceededError(
+                    f"query exceeded its {int((deadline_ns - start_ns) / 1e6)} ms "
+                    "deadline"
+                ) from None
+            except BrokenProcessPool:
+                # A worker died under this request.  The executor
+                # rebuilds its pool on the next submit (feeding the
+                # breaker via on_rebuild); retry exactly once so a lone
+                # crash stays invisible to the client.
+                if attempts >= 2 or time.monotonic_ns() >= deadline_ns:
+                    self._note_shed()
+                    raise self.admission.shed(
+                        "breaker",
+                        "worker pool is unstable; retry after "
+                        f"{self.config.retry_after_s:g}s",
+                    ) from None
+                self.pool_retries += 1
+                _obs.counter("server.pool_retries").inc()
+
+    def _dispatch_degraded(self, query, start_ns: int) -> dict:
+        """The brownout path: answer locally from the SVD factors."""
+        if not self._can_degrade(query):
+            self._note_shed()
+            raise self.admission.shed(
+                "brownout",
+                "server is in brownout (SVD-only answers) and this query "
+                "needs per-cell values; retry after "
+                f"{self.config.retry_after_s:g}s",
+            )
+        result = self._fallback.execute(query)
+        self.degraded_answers += 1
+        _obs.counter("server.degraded_answers").inc()
+        return self._payload(result, start_ns, degraded=True)
+
+    def _payload(self, result, start_ns: int, degraded: bool) -> dict:
+        elapsed_ms = (time.monotonic_ns() - start_ns) / 1e6
+        payload = {
+            "value": result.value,
+            "cells": result.cells_touched,
+            "rows_fetched": result.rows_fetched,
+            "degraded": degraded,
+            "elapsed_ms": round(elapsed_ms, 3),
+        }
+        if degraded:
+            payload["rmspe_estimate"] = self.rmspe
+        if result.profile is not None and result.profile.trace_id:
+            payload["trace_id"] = result.profile.trace_id
+        return payload
+
+    def explain(self, query) -> dict:
+        """Plan a query without executing it (no pool round-trip).
+
+        Runs against the parent-side engine — plans are computed from
+        backend capabilities alone, so the worker pool's health is
+        irrelevant to them.
+        """
+        return self._fallback.explain(coerce_query(query))
+
+    # -- reporting ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``/stats`` endpoint's snapshot of serving health."""
+        return {
+            "queue_depth": self.admission.depth,
+            "queue_age_ms": round(self.admission.oldest_age_ms(), 3),
+            "admitted_total": self.admission.admitted_total,
+            "shed_total": self.admission.shed_total,
+            "deadline_misses": self.deadline_misses,
+            "degraded_answers": self.degraded_answers,
+            "pool_retries": self.pool_retries,
+            "pool_restarts": self.executor.restarts,
+            "breaker_state": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
+            "brownout": self.brownout_active(),
+            "model_degraded": self.model_degraded,
+            "rmspe_estimate": self.rmspe,
+            "draining": self._draining,
+            "workers": self.executor.max_workers,
+            "worker_metrics": self.executor.worker_metrics(),
+        }

@@ -1,0 +1,335 @@
+"""The query-serving HTTP endpoint.
+
+:class:`QueryServer` is a stdlib-only HTTP front door
+(``ThreadingHTTPServer`` via the graceful plumbing in
+:mod:`repro.obs.serve`) over one :class:`~repro.serve.robust.RobustDispatcher`:
+
+- ``GET /query?q=<text>`` — any query in the textual language
+  (:mod:`repro.query.parser`);
+- ``GET /cell?row=R&col=C`` — one cell;
+- ``GET /aggregate?fn=sum&rows=0:50&cols=0:30`` — one aggregate;
+- ``GET /explain?q=<text>`` — the engine's plan, never executed;
+- ``GET /stats`` — the dispatcher's health snapshot (JSON);
+- ``GET /healthz`` / ``/healthz/live`` — liveness (always ``ok``);
+- ``GET /healthz/ready`` — readiness (503 while warming or draining);
+- ``GET /metrics`` — OpenMetrics exposition of the process registry.
+
+Every query route accepts a deadline as ``?timeout_ms=`` or the
+``X-Repro-Deadline-Ms`` header (query param wins), clamped to the
+configured maximum.
+
+**Error contract** — the handler maps exceptions, never leaks them:
+
+====================================  ======  ==========================
+exception                             status  extras
+====================================  ======  ==========================
+``QueryError`` (parse/validation)     400     structured JSON error
+``OverloadedError`` (shed)            503     ``Retry-After`` header
+``DeadlineExceededError``             504     —
+anything else                         500     generic JSON, no traceback
+====================================  ======  ==========================
+
+**Lifecycle** — ``start()`` warms the worker pool *before* accepting
+traffic (ProcessPoolExecutor forks lazily; the first request must not
+pay the fork) and only then flips readiness.  SIGTERM/SIGINT (via
+:meth:`install_signal_handlers` or :meth:`request_shutdown`) flips
+readiness off, sheds new requests with ``503``, waits out in-flight
+requests bounded by ``drain_grace_s``, stops the pool, and releases
+:meth:`serve_until_shutdown` so the CLI can ``exit 0``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    QueryError,
+    ReproError,
+)
+from repro.obs.export import render_openmetrics
+from repro.obs.registry import registry as _obs
+from repro.obs.serve import (
+    OPENMETRICS_CONTENT_TYPE,
+    BaseEndpointHandler,
+    GracefulHTTPServer,
+    HealthState,
+)
+from repro.query.parser import parse_query
+from repro.serve.config import ServeConfig
+from repro.serve.robust import RobustDispatcher
+
+__all__ = ["QueryServer"]
+
+_JSON = "application/json; charset=utf-8"
+
+
+def _error_body(kind: str, message: str) -> bytes:
+    return json.dumps({"error": kind, "message": message}).encode()
+
+
+class _QueryHandler(BaseEndpointHandler):
+    """Routes one request; all state lives on the bound server object."""
+
+    # Bound by QueryServer before serving starts.
+    dispatcher: RobustDispatcher = None  # type: ignore[assignment]
+    config: ServeConfig = None  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            split = urlsplit(self.path)
+            path = split.path
+            params = parse_qs(split.query, keep_blank_values=True)
+        except ValueError:
+            self._reply(400, _JSON, _error_body("bad_request", "unparseable URL"))
+            return
+        try:
+            if self.handle_health(path):
+                return
+            if path == "/metrics":
+                body = render_openmetrics().encode()
+                self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+            elif path == "/stats":
+                body = json.dumps(self.dispatcher.stats(), default=str).encode()
+                self._reply(200, _JSON, body)
+            elif path == "/query":
+                self._run_query(self._text_query(params), params)
+            elif path == "/cell":
+                self._run_query(self._cell_query(params), params)
+            elif path == "/aggregate":
+                self._run_query(self._aggregate_query(params), params)
+            elif path == "/explain":
+                self._explain(params)
+            else:
+                self._reply(
+                    404, _JSON, _error_body("not_found", f"no route {path}")
+                )
+        except QueryError as exc:
+            self._reply(400, _JSON, _error_body("bad_request", str(exc)))
+        except OverloadedError as exc:
+            self._reply(
+                503,
+                _JSON,
+                _error_body("overloaded", str(exc)),
+                extra_headers={
+                    "Retry-After": f"{max(1, round(exc.retry_after_s))}"
+                },
+            )
+        except DeadlineExceededError as exc:
+            self._reply(504, _JSON, _error_body("deadline_exceeded", str(exc)))
+        except ReproError as exc:
+            # A library failure below the query layer (storage fault,
+            # corrupt page...).  Structured, no traceback.
+            _obs.counter("server.internal_errors").inc()
+            self._reply(500, _JSON, _error_body(type(exc).__name__, str(exc)))
+        except Exception:
+            # Never leak a traceback to the wire.
+            _obs.counter("server.internal_errors").inc()
+            self._reply(
+                500, _JSON, _error_body("internal", "internal server error")
+            )
+
+    # -- request parsing ------------------------------------------------
+
+    @staticmethod
+    def _one(params: dict, name: str) -> str | None:
+        values = params.get(name)
+        if not values:
+            return None
+        return values[-1]
+
+    def _text_query(self, params: dict):
+        text = self._one(params, "q")
+        if text is None:
+            raise QueryError("missing required parameter 'q'")
+        return parse_query(text)
+
+    def _cell_query(self, params: dict):
+        row, col = self._one(params, "row"), self._one(params, "col")
+        if row is None or col is None:
+            raise QueryError("/cell needs integer 'row' and 'col' parameters")
+        try:
+            return parse_query(f"cell({int(row)}, {int(col)})")
+        except ValueError:
+            raise QueryError(
+                f"row/col must be integers, got row={row!r} col={col!r}"
+            ) from None
+
+    def _aggregate_query(self, params: dict):
+        fn = self._one(params, "fn")
+        if fn is None:
+            raise QueryError("/aggregate needs an 'fn' parameter")
+        parts = [f"{fn}()"]
+        rows, cols = self._one(params, "rows"), self._one(params, "cols")
+        if rows:
+            parts.append(f"rows {rows}")
+        if cols:
+            parts.append(f"cols {cols}")
+        return parse_query(" ".join(parts))
+
+    def _timeout_ms(self, params: dict) -> float | None:
+        raw = self._one(params, "timeout_ms")
+        if raw is None:
+            raw = self.headers.get("X-Repro-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise QueryError(f"timeout_ms must be a number, got {raw!r}") from None
+        if value <= 0:
+            raise QueryError(f"timeout_ms must be positive, got {value:g}")
+        return value
+
+    # -- query routes ---------------------------------------------------
+
+    def _run_query(self, query, params: dict) -> None:
+        payload = self.dispatcher.dispatch(
+            query, timeout_ms=self._timeout_ms(params)
+        )
+        self._reply(200, _JSON, json.dumps(payload).encode())
+
+    def _explain(self, params: dict) -> None:
+        query = self._text_query(params)
+        plan = self.dispatcher.explain(query)
+        self._reply(200, _JSON, json.dumps(plan).encode())
+
+
+class QueryServer:
+    """One model directory served over HTTP with the robustness stack.
+
+    Args:
+        model_dir: a ``CompressedMatrix`` model directory.
+        config: serving thresholds (:class:`ServeConfig`).
+        verified_rmspe: catalog RMSPE stamped on degraded answers.
+
+    Usable as a context manager.  :attr:`url` resolves the bound port
+    (``port=0`` picks a free one).
+    """
+
+    def __init__(
+        self,
+        model_dir: str | Path,
+        config: ServeConfig | None = None,
+        verified_rmspe: float | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.dispatcher = RobustDispatcher(
+            model_dir, self.config, verified_rmspe=verified_rmspe
+        )
+        self.health = HealthState()
+        self._server: GracefulHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._shutdown_event = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._stopped = False
+        self.drained_clean = True
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self.config.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def start(self) -> "QueryServer":
+        """Warm the pool, bind, serve in a daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        # Fork the workers before any HTTP thread exists: mixing
+        # fork-on-demand with live threads is where fork-safety bugs
+        # breed, and the first request shouldn't pay the fork anyway.
+        self.dispatcher.warm()
+        handler = type(
+            "_BoundQueryHandler",
+            (_QueryHandler,),
+            {
+                "dispatcher": self.dispatcher,
+                "config": self.config,
+                "health": self.health,
+            },
+        )
+        self._server = GracefulHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self.health.set_ready(True)
+        _obs.gauge("server.ready").set(1)
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: readiness off → shed new work → wait out
+        in-flight requests (bounded) → stop pool and listener.
+
+        Idempotent and safe from signal handlers' deferred context (the
+        actual call happens on the main thread via
+        :meth:`serve_until_shutdown`).
+        """
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self.health.set_ready(False)
+        _obs.gauge("server.ready").set(0)
+        # Dispatcher first: new requests now shed with 503 + Retry-After
+        # while the HTTP listener keeps answering health checks.
+        self.drained_clean = self.dispatcher.drain()
+        server, thread = self._server, self._thread
+        self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.drain(self.config.drain_grace_s)
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._shutdown_event.set()
+
+    def request_shutdown(self) -> None:
+        """Flip readiness and wake :meth:`serve_until_shutdown`.
+
+        Signal-handler safe: does no blocking work itself — the waiting
+        thread performs the actual drain.
+        """
+        self.health.set_ready(False)
+        _obs.gauge("server.ready").set(0)
+        self._shutdown_event.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into a graceful drain.
+
+        A no-op off the main thread (handlers can only be installed
+        there); embedded callers use :meth:`request_shutdown` directly.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: self.request_shutdown())
+
+    def serve_until_shutdown(self, duration_s: float | None = None) -> bool:
+        """Block until a shutdown is requested (or ``duration_s`` runs
+        out), then drain.  Returns True when in-flight requests
+        finished within the grace period."""
+        self._shutdown_event.wait(timeout=duration_s)
+        self.stop()
+        return self.drained_clean
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

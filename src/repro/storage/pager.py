@@ -19,10 +19,15 @@ The read funnel also
 - resumes short reads instead of zero-padding mid-file gaps (padding is
   correct only at EOF),
 - retries transient ``OSError`` (``EIO``/``EAGAIN``/``EINTR``/
-  ``ETIMEDOUT``) with bounded exponential backoff, counting each retry
+  ``ETIMEDOUT``) with **decorrelated-jitter** backoff — each sleep is
+  drawn uniformly from ``[base, 3 * previous_sleep]`` capped at
+  ``_RETRY_MAX_SLEEP_S``, so concurrent readers hitting the same sick
+  disk spread out instead of retrying in lockstep — counting each retry
   in :attr:`IOStats.retries` and the ``pager.retries`` registry
-  counter, and raising :class:`RetryExhaustedError` once the budget is
-  spent,
+  counter and observing each sleep in the ``pager.retry_backoff_ns``
+  histogram (a retry storm is visible as a fat p99 there), and raising
+  :class:`RetryExhaustedError` once either the attempt budget or the
+  total-elapsed cap (``_RETRY_MAX_ELAPSED_S``) is spent,
 - consults :mod:`repro.storage.faults` so the chaos suite can script
   failures against the real call stack (one ``None`` check when off).
 """
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import errno
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -184,8 +190,21 @@ class FilePager:
 
     #: Maximum retry attempts for a transient read error.
     _RETRY_ATTEMPTS = 3
-    #: Backoff before retry ``n`` is ``_RETRY_BASE_DELAY * 2**n`` seconds.
+    #: Floor of every backoff sleep (the first draw is uniform in
+    #: ``[base, 3 * base]``).
     _RETRY_BASE_DELAY = 0.002
+    #: Ceiling on a single decorrelated-jitter sleep.
+    _RETRY_MAX_SLEEP_S = 0.050
+    #: Total wall-clock budget across all retries of one read: a read
+    #: that has been failing-and-sleeping this long raises
+    #: :class:`RetryExhaustedError` even with attempts remaining, so a
+    #: request-serving caller is never stuck behind an unbounded
+    #: backoff ladder.
+    _RETRY_MAX_ELAPSED_S = 0.500
+
+    #: Process-wide jitter source; intentionally unseeded (retry spread
+    #: across threads/processes is the point, reproducibility is not).
+    _retry_rng = random.Random()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -237,11 +256,15 @@ class FilePager:
         until ``length`` bytes arrive or EOF is reached (only EOF may
         return fewer bytes, so callers' zero-padding is always padding
         real end-of-file, never a gap a flaky ``read(2)`` left
-        mid-file).  Transient ``OSError`` is retried with exponential
-        backoff; persistent failure raises :class:`RetryExhaustedError`.
+        mid-file).  Transient ``OSError`` is retried with
+        decorrelated-jitter backoff under both an attempt budget and a
+        total-elapsed cap; persistent failure raises
+        :class:`RetryExhaustedError`.
         """
         plan = _faults.plan_for(self.path)
         attempt = 0
+        retry_started = 0.0
+        last_sleep = self._RETRY_BASE_DELAY
         while True:
             try:
                 if plan is not None:
@@ -267,14 +290,35 @@ class FilePager:
                 if exc.errno not in TRANSIENT_ERRNOS:
                     raise
                 attempt += 1
+                if attempt == 1:
+                    retry_started = time.monotonic()
+                elapsed = time.monotonic() - retry_started
                 if attempt > self._RETRY_ATTEMPTS:
                     raise RetryExhaustedError(
                         f"{self.path}: read at offset {offset} still failing "
                         f"after {self._RETRY_ATTEMPTS} retries: {exc}"
                     ) from exc
+                if elapsed > self._RETRY_MAX_ELAPSED_S:
+                    raise RetryExhaustedError(
+                        f"{self.path}: read at offset {offset} still failing "
+                        f"after {elapsed * 1e3:.0f} ms of retries "
+                        f"(cap {self._RETRY_MAX_ELAPSED_S * 1e3:.0f} ms): {exc}"
+                    ) from exc
+                # Decorrelated jitter (AWS architecture-blog recipe):
+                # each sleep is uniform in [base, 3 * previous sleep],
+                # capped — growth on average, never synchronized across
+                # the threads/processes sharing a flaky device.
+                delay = min(
+                    self._RETRY_MAX_SLEEP_S,
+                    self._retry_rng.uniform(
+                        self._RETRY_BASE_DELAY, last_sleep * 3.0
+                    ),
+                )
+                last_sleep = delay
                 self.stats.add(retries=1)
                 _obs.counter("pager.retries").inc()
-                time.sleep(self._RETRY_BASE_DELAY * 2 ** (attempt - 1))
+                _obs.histogram("pager.retry_backoff_ns").observe(delay * 1e9)
+                time.sleep(delay)
 
     def _pwrite(self, offset: int | None, data: bytes) -> None:
         """Write ``data`` at ``offset`` (or append when ``None``).

@@ -1,0 +1,138 @@
+"""Deadline propagation through both executors.
+
+Deadlines are ``time.monotonic_ns`` instants: on Linux the monotonic
+clock is system-wide, so an instant computed in the parent means the
+same thing inside a forked worker — which is what lets the worker drop
+an expired task *before* doing its work.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_compressed
+from repro.exceptions import DeadlineExceededError
+from repro.query.executor import QueryExecutor
+from repro.query.process_executor import ProcessQueryExecutor
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((50, 4)) @ rng.standard_normal((4, 30))
+    directory = tmp_path_factory.mktemp("deadline") / "model"
+    build_compressed(data, directory, budget_fraction=0.2).close()
+    return directory
+
+
+class TestThreadExecutorDeadlines:
+    def test_expired_deadline_drops_before_execution(self, low_rank):
+        with QueryExecutor(low_rank, max_workers=2) as pool:
+            future = pool.submit((0, 0), deadline_ns=time.monotonic_ns() - 1)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=10)
+
+    def test_generous_deadline_answers_normally(self, low_rank):
+        with QueryExecutor(low_rank, max_workers=2) as pool:
+            deadline_ns = time.monotonic_ns() + 60 * 10**9
+            result = pool.submit((0, 0), deadline_ns=deadline_ns).result(
+                timeout=10
+            )
+            assert result.value == pytest.approx(low_rank[0, 0])
+
+    def test_no_deadline_still_works(self, low_rank):
+        with QueryExecutor(low_rank, max_workers=2) as pool:
+            assert pool.submit((1, 2)).result(timeout=10).cells_touched == 1
+
+    def test_drop_counts_in_registry(self, low_rank, enabled_registry):
+        with QueryExecutor(low_rank, max_workers=1) as pool:
+            future = pool.submit((0, 0), deadline_ns=time.monotonic_ns() - 1)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=10)
+        assert enabled_registry.counter("executor.deadline_drops").value >= 1
+
+
+class TestProcessExecutorDeadlines:
+    def test_expired_deadline_drops_in_worker(self, model_dir):
+        with ProcessQueryExecutor(model_dir, max_workers=1) as pool:
+            future = pool.submit((0, 0), deadline_ns=time.monotonic_ns() - 1)
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=30)
+            # The drop is counted in the worker's piggybacked stats.
+            assert pool.worker_metrics()["deadline_drops"] >= 1
+
+    def test_generous_deadline_answers_normally(self, model_dir):
+        with ProcessQueryExecutor(model_dir, max_workers=1) as pool:
+            deadline_ns = time.monotonic_ns() + 60 * 10**9
+            result = pool.submit(
+                "sum() rows 0:10", deadline_ns=deadline_ns
+            ).result(timeout=30)
+            assert np.isfinite(result.value)
+
+    def test_error_crosses_pickle_boundary_intact(self, model_dir):
+        with ProcessQueryExecutor(model_dir, max_workers=1) as pool:
+            future = pool.submit((0, 0), deadline_ns=time.monotonic_ns() - 1)
+            try:
+                future.result(timeout=30)
+                raise AssertionError("expected DeadlineExceededError")
+            except DeadlineExceededError as exc:
+                assert isinstance(exc, TimeoutError)
+                assert "deadline" in str(exc)
+
+    def test_drop_does_not_poison_chunkmates(self, model_dir):
+        """A dropped task fails alone; other queries in the same pool
+        keep answering."""
+        with ProcessQueryExecutor(model_dir, max_workers=1) as pool:
+            dead = pool.submit((0, 0), deadline_ns=time.monotonic_ns() - 1)
+            alive = pool.submit((1, 1))
+            with pytest.raises(DeadlineExceededError):
+                dead.result(timeout=30)
+            assert alive.result(timeout=30).cells_touched == 1
+
+    def test_retired_totals_keep_drops_monotonic(self, model_dir):
+        """Worker stats survive a pool rebuild via the retired totals."""
+        from repro.query.process_executor import _CrashProbe
+
+        with ProcessQueryExecutor(model_dir, max_workers=1) as pool:
+            with pytest.raises(DeadlineExceededError):
+                pool.submit(
+                    (0, 0), deadline_ns=time.monotonic_ns() - 1
+                ).result(timeout=30)
+            before = pool.worker_metrics()["deadline_drops"]
+            assert before >= 1
+            with pytest.raises(Exception):
+                pool.submit(_CrashProbe()).result(timeout=30)
+            pool.submit((0, 0)).result(timeout=30)  # rebuilds the pool
+            assert pool.worker_metrics()["deadline_drops"] >= before
+
+
+class TestRebuildHook:
+    def test_on_rebuild_fires_per_pool_rebuild(self, model_dir):
+        from repro.query.process_executor import _CrashProbe
+
+        events = []
+        with ProcessQueryExecutor(
+            model_dir, max_workers=1, on_rebuild=lambda: events.append(1)
+        ) as pool:
+            assert pool.restarts == 0
+            with pytest.raises(Exception):
+                pool.submit(_CrashProbe()).result(timeout=30)
+            pool.submit((0, 0)).result(timeout=30)
+            assert pool.restarts == 1
+            assert len(events) == 1
+
+    def test_failing_hook_does_not_break_dispatch(self, model_dir):
+        from repro.query.process_executor import _CrashProbe
+
+        def bad_hook():
+            raise RuntimeError("observer bug")
+
+        with ProcessQueryExecutor(
+            model_dir, max_workers=1, on_rebuild=bad_hook
+        ) as pool:
+            with pytest.raises(Exception):
+                pool.submit(_CrashProbe()).result(timeout=30)
+            assert pool.submit((2, 3)).result(timeout=30).cells_touched == 1

@@ -1,0 +1,19 @@
+"""Fixtures for the serving-tier tests: one small model per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_compressed
+
+
+@pytest.fixture(scope="session")
+def serve_model_dir(tmp_path_factory):
+    """A compact compressed model (80 x 50, low rank + noise)."""
+    rng = np.random.default_rng(7)
+    data = rng.standard_normal((80, 4)) @ rng.standard_normal((4, 50))
+    data += 0.01 * rng.standard_normal((80, 50))
+    directory = tmp_path_factory.mktemp("serve") / "model"
+    build_compressed(data, directory, budget_fraction=0.2).close()
+    return directory

@@ -1,0 +1,108 @@
+"""Admission controller: bounded depth, staleness shedding, accounting."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import OverloadedError
+from repro.serve.admission import AdmissionController
+
+
+class TestDepthGuard:
+    def test_admits_up_to_depth(self):
+        controller = AdmissionController(max_depth=3, max_age_ms=10_000)
+        tickets = [controller.admit() for _ in range(3)]
+        assert controller.depth == 3
+        for ticket in tickets:
+            ticket.release()
+        assert controller.depth == 0
+
+    def test_sheds_past_depth_with_reason_and_hint(self):
+        controller = AdmissionController(
+            max_depth=1, max_age_ms=10_000, retry_after_s=2.5
+        )
+        ticket = controller.admit()
+        with pytest.raises(OverloadedError) as excinfo:
+            controller.admit()
+        assert excinfo.value.reason == "depth"
+        assert excinfo.value.retry_after_s == 2.5
+        ticket.release()
+        # Capacity freed: the next request is admitted again.
+        controller.admit().release()
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_depth=2, max_age_ms=10_000)
+        ticket = controller.admit()
+        ticket.release()
+        ticket.release()
+        assert controller.depth == 0
+
+    def test_context_manager_releases_on_error(self):
+        controller = AdmissionController(max_depth=1, max_age_ms=10_000)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                raise RuntimeError("query blew up")
+        assert controller.depth == 0
+        controller.admit().release()
+
+
+class TestAgeGuard:
+    def test_stale_oldest_request_sheds_new_arrivals(self):
+        controller = AdmissionController(max_depth=10, max_age_ms=10.0)
+        wedged = controller.admit()
+        time.sleep(0.03)
+        with pytest.raises(OverloadedError) as excinfo:
+            controller.admit()
+        assert excinfo.value.reason == "age"
+        wedged.release()
+        # Queue no longer stale: admission resumes.
+        controller.admit().release()
+
+    def test_oldest_age_tracks_first_admitted(self):
+        controller = AdmissionController(max_depth=10, max_age_ms=10_000)
+        assert controller.oldest_age_ms() == 0.0
+        ticket = controller.admit()
+        time.sleep(0.02)
+        assert controller.oldest_age_ms() >= 15.0
+        ticket.release()
+        assert controller.oldest_age_ms() == 0.0
+
+
+class TestAccounting:
+    def test_totals_and_registry_counters(self):
+        from repro.obs.registry import registry
+
+        admitted_before = registry.counter("server.admitted").value
+        shed_before = registry.counter("server.shed").value
+        depth_shed_before = registry.counter("server.shed.depth").value
+        controller = AdmissionController(max_depth=1, max_age_ms=10_000)
+        with controller.admit():
+            with pytest.raises(OverloadedError):
+                controller.admit()
+        assert controller.admitted_total == 1
+        assert controller.shed_total == 1
+        assert registry.counter("server.admitted").value == admitted_before + 1
+        assert registry.counter("server.shed").value == shed_before + 1
+        assert (
+            registry.counter("server.shed.depth").value == depth_shed_before + 1
+        )
+
+    def test_shed_helper_counts_arbitrary_reasons(self):
+        from repro.obs.registry import registry
+
+        before = registry.counter("server.shed.drain").value
+        controller = AdmissionController(max_depth=1, max_age_ms=10_000)
+        error = controller.shed("drain")
+        assert isinstance(error, OverloadedError)
+        assert error.reason == "drain"
+        assert registry.counter("server.shed.drain").value == before + 1
+
+    def test_wait_idle(self):
+        controller = AdmissionController(max_depth=2, max_age_ms=10_000)
+        assert controller.wait_idle(0.01)
+        ticket = controller.admit()
+        assert not controller.wait_idle(0.02)
+        ticket.release()
+        assert controller.wait_idle(0.5)

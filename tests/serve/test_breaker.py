@@ -1,0 +1,85 @@
+"""Circuit breaker: trip, cooldown, half-open probe, close."""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(failures=3, window_s=30, cooldown_s=5)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.allow()
+
+    def test_trips_after_threshold_within_window(self):
+        breaker = CircuitBreaker(failures=3, window_s=30, cooldown_s=5)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_old_failures_age_out_of_window(self):
+        breaker = CircuitBreaker(failures=2, window_s=0.02, cooldown_s=5)
+        breaker.record_failure()
+        time.sleep(0.04)
+        breaker.record_failure()
+        # Each failure fell out of the window before the next landed.
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failures=1, window_s=30, cooldown_s=0.02)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        time.sleep(0.03)
+        assert breaker.state == HALF_OPEN
+        # Exactly one probe slot.
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failures=1, window_s=30, cooldown_s=0.02)
+        breaker.record_failure()
+        time.sleep(0.03)
+        assert breaker.allow()  # probe goes out
+        breaker.record_failure()  # probe came back dead
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 2
+
+    def test_abandoned_probe_rearms_after_cooldown(self):
+        breaker = CircuitBreaker(failures=1, window_s=30, cooldown_s=0.02)
+        breaker.record_failure()
+        time.sleep(0.03)
+        assert breaker.allow()  # probe goes out... and never reports
+        assert not breaker.allow()
+        time.sleep(0.03)
+        # The breaker must not wedge half-open forever.
+        assert breaker.allow()
+
+    def test_success_while_closed_is_a_noop(self):
+        breaker = CircuitBreaker(failures=2, window_s=30, cooldown_s=5)
+        breaker.record_failure()
+        breaker.record_success()
+        # Closed-state successes don't clear the failure window.
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+
+class TestTelemetry:
+    def test_state_gauge_and_trip_counter(self):
+        from repro.obs.registry import registry
+
+        trips_before = registry.counter("server.breaker_trips").value
+        breaker = CircuitBreaker(failures=1, window_s=30, cooldown_s=60)
+        breaker.record_failure()
+        assert registry.counter("server.breaker_trips").value == trips_before + 1
+        assert registry.gauge("server.breaker_state").value == 2

@@ -1,0 +1,229 @@
+"""RobustDispatcher: deadlines, brownout, degraded answers, crash retry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeadlineExceededError, OverloadedError, QueryError
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.process_executor import _CrashProbe
+from repro.serve.config import ServeConfig
+from repro.serve.robust import RobustDispatcher, rmspe_estimate
+
+
+@pytest.fixture(scope="module")
+def dispatcher(serve_model_dir):
+    config = ServeConfig(
+        workers=2,
+        max_queue_depth=16,
+        default_timeout_ms=10_000,
+        brownout_sheds=1_000,  # never auto-brownout in this module
+        breaker_failures=1_000,  # never auto-trip either
+    )
+    dispatcher = RobustDispatcher(serve_model_dir, config)
+    dispatcher.warm()
+    yield dispatcher
+    dispatcher.close()
+
+
+class TestHealthyPath:
+    def test_pool_answers_match_engine(self, dispatcher, serve_model_dir):
+        from repro.core.store import CompressedMatrix
+
+        payload = dispatcher.dispatch("sum() rows 0:40 cols 0:25")
+        with CompressedMatrix.open(serve_model_dir) as store:
+            expected = QueryEngine(store).execute(
+                parse_query("sum() rows 0:40 cols 0:25")
+            )
+        assert payload["value"] == expected.value
+        assert payload["degraded"] is False
+        assert payload["cells"] == 40 * 25
+
+    def test_accepts_all_query_forms(self, dispatcher):
+        assert dispatcher.dispatch((3, 7))["cells"] == 1
+        assert dispatcher.dispatch("cell(3, 7)")["cells"] == 1
+        assert dispatcher.dispatch("count()")["value"] == 80 * 50
+
+    def test_malformed_query_raises_query_error(self, dispatcher):
+        with pytest.raises(QueryError):
+            dispatcher.dispatch("DROP TABLE users;")
+        with pytest.raises(QueryError):
+            dispatcher.dispatch("sum() rows 0:1000000")
+
+    def test_explain_without_execution(self, dispatcher):
+        plan = dispatcher.explain("avg() rows 0:10")
+        assert plan["path"] == "factor"
+
+
+class TestDeadlines:
+    def test_expired_deadline_maps_to_deadline_error(self, dispatcher):
+        # clamp_timeout_ms floors at 1 ms; a worker round-trip on a
+        # fork-start pool virtually always exceeds it, but allow the
+        # occasional lucky fast answer — what must never happen is any
+        # *other* outcome.
+        outcomes = set()
+        for _ in range(5):
+            try:
+                payload = dispatcher.dispatch("min()", timeout_ms=0.001)
+                outcomes.add("ok")
+                assert payload["degraded"] is False
+            except DeadlineExceededError:
+                outcomes.add("deadline")
+        assert outcomes <= {"ok", "deadline"}
+
+    def test_timeout_clamped_to_configured_max(self, serve_model_dir):
+        config = ServeConfig(workers=1, max_timeout_ms=50.0)
+        assert config.clamp_timeout_ms(10_000_000) == 50.0
+        assert config.clamp_timeout_ms(None) == 50.0
+        assert config.clamp_timeout_ms(20.0) == 20.0
+
+
+class TestBrownout:
+    @pytest.fixture()
+    def brownout_dispatcher(self, serve_model_dir):
+        config = ServeConfig(
+            workers=1,
+            brownout_sheds=2,
+            brownout_window_s=60.0,
+            breaker_failures=1_000,
+        )
+        dispatcher = RobustDispatcher(serve_model_dir, config)
+        yield dispatcher
+        dispatcher.close()
+
+    def test_sustained_shedding_enters_brownout(self, brownout_dispatcher):
+        assert not brownout_dispatcher.brownout_active()
+        brownout_dispatcher._note_shed()
+        assert not brownout_dispatcher.brownout_active()
+        brownout_dispatcher._note_shed()
+        assert brownout_dispatcher.brownout_active()
+
+    def test_degraded_answer_is_svd_only_and_stamped(
+        self, brownout_dispatcher, serve_model_dir
+    ):
+        from repro.core.store import CompressedMatrix
+
+        for _ in range(2):
+            brownout_dispatcher._note_shed()
+        payload = brownout_dispatcher.dispatch("sum() rows 0:40 cols 0:25")
+        assert payload["degraded"] is True
+        assert "rmspe_estimate" in payload
+        with CompressedMatrix.open(serve_model_dir) as store:
+            svd_only = QueryEngine(store, include_deltas=False).execute(
+                parse_query("sum() rows 0:40 cols 0:25")
+            )
+            exact = QueryEngine(store).execute(
+                parse_query("sum() rows 0:40 cols 0:25")
+            )
+            deltas = len(store.delta_index)
+        assert payload["value"] == svd_only.value
+        if deltas:
+            assert payload["value"] != exact.value
+
+    def test_degraded_cell_uses_svd_reconstruction(self, brownout_dispatcher):
+        for _ in range(2):
+            brownout_dispatcher._note_shed()
+        payload = brownout_dispatcher.dispatch("cell(5, 5)")
+        assert payload["degraded"] is True
+        assert np.isfinite(payload["value"])
+
+    def test_min_max_shed_during_brownout(self, brownout_dispatcher):
+        for _ in range(2):
+            brownout_dispatcher._note_shed()
+        with pytest.raises(OverloadedError) as excinfo:
+            brownout_dispatcher.dispatch("min()")
+        assert excinfo.value.reason == "brownout"
+
+    def test_brownout_exits_when_window_drains(self, serve_model_dir):
+        config = ServeConfig(
+            workers=1, brownout_sheds=1, brownout_window_s=0.02
+        )
+        dispatcher = RobustDispatcher(serve_model_dir, config)
+        try:
+            dispatcher._note_shed()
+            assert dispatcher.brownout_active()
+            import time
+
+            time.sleep(0.05)
+            assert not dispatcher.brownout_active()
+        finally:
+            dispatcher.close()
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_routes_to_degraded(self, serve_model_dir):
+        config = ServeConfig(
+            workers=1,
+            breaker_failures=1,
+            breaker_cooldown_s=60.0,
+            brownout_sheds=1_000,
+        )
+        dispatcher = RobustDispatcher(serve_model_dir, config)
+        try:
+            dispatcher.breaker.record_failure()
+            assert dispatcher.breaker.state == "open"
+            payload = dispatcher.dispatch("avg() rows 0:10")
+            assert payload["degraded"] is True
+        finally:
+            dispatcher.close()
+
+    def test_worker_crash_feeds_breaker_and_retries_once(self, serve_model_dir):
+        config = ServeConfig(
+            workers=1, breaker_failures=1_000, brownout_sheds=1_000
+        )
+        dispatcher = RobustDispatcher(serve_model_dir, config)
+        try:
+            dispatcher.warm()
+            # Kill the (only) worker through the real dispatch path.
+            with pytest.raises(Exception):
+                dispatcher.executor.submit(_CrashProbe()).result(timeout=30)
+            # The next request survives: broken pool -> rebuild -> retry.
+            payload = dispatcher.dispatch("sum() rows 0:10")
+            assert payload["degraded"] is False
+            assert dispatcher.executor.restarts >= 1
+        finally:
+            dispatcher.close()
+
+
+class TestDrain:
+    def test_draining_dispatcher_sheds_with_drain_reason(self, serve_model_dir):
+        config = ServeConfig(workers=1, drain_grace_s=1.0)
+        dispatcher = RobustDispatcher(serve_model_dir, config)
+        assert dispatcher.drain() is True
+        with pytest.raises(OverloadedError) as excinfo:
+            dispatcher.dispatch("count()")
+        assert excinfo.value.reason == "drain"
+        dispatcher.close()  # idempotent
+
+
+class TestDegradedModelOpen:
+    def test_corrupt_delta_sidecar_serves_degraded(self, tmp_path):
+        from repro.core.build import build_compressed
+
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((40, 4)) @ rng.standard_normal((4, 30))
+        directory = tmp_path / "model"
+        build_compressed(data, directory, budget_fraction=0.2).close()
+        # Corrupt the delta sidecar so only a degraded open succeeds.
+        delta_path = directory / "deltas.bin"
+        if delta_path.exists():
+            delta_path.write_bytes(b"garbage")
+        config = ServeConfig(workers=1, on_corrupt="degraded")
+        dispatcher = RobustDispatcher(directory, config)
+        try:
+            if dispatcher.model_degraded:
+                payload = dispatcher.dispatch("sum() rows 0:10")
+                assert payload["degraded"] is True
+        finally:
+            dispatcher.close()
+
+
+class TestRmspeEstimate:
+    def test_estimate_from_update_state(self, serve_model_dir):
+        estimate = rmspe_estimate(serve_model_dir)
+        assert estimate is None or (0.0 <= estimate < 1.0)
+
+    def test_missing_state_returns_none(self, tmp_path):
+        assert rmspe_estimate(tmp_path) is None

@@ -156,6 +156,49 @@ class TestWriteFaults:
         assert not directory.with_name(directory.name + STAGING_SUFFIX).exists()
 
 
+class TestRetryBackoff:
+    def test_each_retry_observes_backoff_histogram(self, tmp_path):
+        path = _paged_file(tmp_path)
+        histogram = registry.histogram("pager.retry_backoff_ns")
+        before = histogram.count
+        with FilePager(path, page_size=256) as pager:
+            with faults.inject(FaultPlan(fail_read_at=1, fail_reads=2)):
+                pager.read_page(0)
+        assert histogram.count == before + 2
+        # Backoff sleeps are nanoseconds within the configured bounds.
+        assert histogram.maximum <= FilePager._RETRY_MAX_SLEEP_S * 1e9
+
+    def test_sleeps_stay_within_jitter_bounds(self, tmp_path, monkeypatch):
+        """Every decorrelated-jitter draw lands in [base, max_sleep],
+        and the first is at most 3x base."""
+        import time as time_module
+
+        path = _paged_file(tmp_path)
+        sleeps: list[float] = []
+        monkeypatch.setattr(time_module, "sleep", sleeps.append)
+        with FilePager(path, page_size=256) as pager:
+            with faults.inject(FaultPlan(fail_read_at=1, fail_reads=3)):
+                assert pager.read_page(0) == bytes([1]) * 256
+        assert len(sleeps) == 3
+        for delay in sleeps:
+            assert FilePager._RETRY_BASE_DELAY <= delay
+            assert delay <= FilePager._RETRY_MAX_SLEEP_S
+        assert sleeps[0] <= 3.0 * FilePager._RETRY_BASE_DELAY
+
+    def test_elapsed_cap_bounds_the_backoff_ladder(self, tmp_path, monkeypatch):
+        """Even with attempts to spare, a read stops retrying once the
+        total-elapsed budget is spent — serving callers are never stuck
+        behind an unbounded ladder."""
+        path = _paged_file(tmp_path)
+        monkeypatch.setattr(FilePager, "_RETRY_ATTEMPTS", 10**6)
+        monkeypatch.setattr(FilePager, "_RETRY_MAX_ELAPSED_S", -1.0)
+        with FilePager(path, page_size=256) as pager:
+            with faults.inject(FaultPlan(fail_read_at=1, fail_reads=10**6)):
+                with pytest.raises(RetryExhaustedError) as excinfo:
+                    pager.read_page(0)
+        assert "cap" in str(excinfo.value)
+
+
 class TestPlanAccounting:
     def test_counters_track_attempts(self, tmp_path):
         path = _paged_file(tmp_path)
