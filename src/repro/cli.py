@@ -7,7 +7,11 @@ Gives the library the operational surface a deployed system would have:
 - ``info``    — inspect a compressed model (shape, k, deltas, space,
   append/drift state);
 - ``append``  — fold new days (``--cols``) or customers (``--rows``)
-  into an existing model crash-atomically, without a rebuild;
+  into an existing model crash-atomically, without a rebuild
+  (``--defer-summaries`` postpones the rollup refresh);
+- ``summarize`` — materialize or refresh a model's summary store (the
+  persisted time-hierarchy rollups behind ``path=summary`` answers and
+  ``/groupby``); ``--all`` walks a warehouse catalog;
 - ``cell``    — reconstruct one cell, reporting the disk accesses used;
 - ``aggregate`` — run an aggregate query over row/column ranges;
 - ``query``   — run a textual query ('avg() rows 0:100 cols 7:14');
@@ -17,8 +21,8 @@ Gives the library the operational surface a deployed system would have:
 - ``stats``   — run a random-cell workload with telemetry enabled and
   dump the metrics registry (pool/pager counters, span timings) as JSON;
 - ``serve``   — serve a model over HTTP (``/query``, ``/cell``,
-  ``/aggregate``, ``/explain``, ``/stats``, ``/healthz`` live/ready,
-  ``/metrics``) on the multiprocess executor, with bounded admission,
+  ``/aggregate``, ``/groupby``, ``/explain``, ``/stats``, ``/healthz``
+  live/ready, ``/metrics``) on the multiprocess executor, with bounded admission,
   load shedding (503 + Retry-After), per-request deadlines, brownout
   degradation, and graceful SIGTERM drain;
 - ``serve-metrics`` — expose the live registry over HTTP (``/metrics``
@@ -144,7 +148,32 @@ def cmd_info(args) -> int:
         f"(threshold {state.get('drift_threshold', 0.0):.2f}, "
         f"rebuild recommended: {state.get('rebuild_recommended', False)})"
     )
+    _print_summary_state(args.model)
     return 0
+
+
+def _print_summary_state(model_dir) -> None:
+    """One ``repro info`` line on the summary store's staleness."""
+    from repro.summaries import SummaryStore
+
+    store = SummaryStore.load(model_dir)
+    if store is None:
+        print(
+            "  summaries: absent or stale generation "
+            "(run `repro summarize` to materialize)"
+        )
+        return
+    if store.fresh:
+        print(
+            f"  summaries: fresh ({store.covered_rows} x "
+            f"{store.covered_cols} covered)"
+        )
+        return
+    print(
+        f"  summaries: lagging — covers {store.covered_rows} x "
+        f"{store.covered_cols} of {store.model_rows} x {store.model_cols} "
+        "(deferred append; run `repro summarize` to catch up)"
+    )
 
 
 def cmd_append(args) -> int:
@@ -158,12 +187,13 @@ def cmd_append(args) -> int:
     """
     from repro.core.update import append_columns, append_rows
 
+    refresh = not getattr(args, "defer_summaries", False)
     if args.cols:
         payload = np.load(args.cols)
-        result = append_columns(args.model, payload)
+        result = append_columns(args.model, payload, refresh_summaries=refresh)
     else:
         payload = np.load(args.rows)
-        result = append_rows(args.model, payload)
+        result = append_rows(args.model, payload, refresh_summaries=refresh)
     print(
         f"appended {result.appended} {result.kind} to {args.model}: now "
         f"{result.rows} x {result.cols}, {result.num_deltas} deltas "
@@ -173,6 +203,48 @@ def cmd_append(args) -> int:
         f"drift: {result.drift:.4f}  "
         f"rebuild recommended: {result.rebuild_recommended}"
     )
+    if not refresh:
+        print(
+            "summaries: refresh deferred "
+            "(run `repro summarize` to catch up)"
+        )
+    return 0
+
+
+def cmd_summarize(args) -> int:
+    """Handle ``repro summarize``: bring summary stores up to date.
+
+    Default target is one model directory; ``--all`` treats the target
+    as a warehouse root and walks every catalogued model.  The refresh
+    is crash-atomic (staged swap) and incremental where the existing
+    store covers part of the model; ``--rebuild`` forces a cold
+    recompute.
+    """
+    from repro.summaries import summarize_directory
+
+    if getattr(args, "all_models", False):
+        from repro.warehouse import Warehouse
+
+        warehouse = Warehouse(args.target)
+        targets = [
+            (name, Path(args.target) / name) for name in warehouse.names()
+        ]
+        if not targets:
+            print("(empty warehouse)")
+            return 0
+    else:
+        targets = [(None, Path(args.target))]
+    for name, directory in targets:
+        report = summarize_directory(
+            directory, rebuild=args.rebuild, start_date=args.start_date
+        )
+        label = f"{name}: " if name else ""
+        state = report["state"]
+        print(
+            f"{label}{report['status']} — covers "
+            f"{state['covered_rows']} x {state['covered_cols']} "
+            f"({report['seconds']:.2f}s)"
+        )
     return 0
 
 
@@ -503,7 +575,8 @@ def cmd_serve(args) -> int:
     server.install_signal_handlers()
     print(
         f"serving {model_dir} on {server.url}  "
-        "(routes: /query /cell /aggregate /explain /stats /healthz /metrics)"
+        "(routes: /query /cell /aggregate /groupby /explain /stats /healthz "
+        "/metrics)"
     )
     sys.stdout.flush()
     drained = server.serve_until_shutdown(duration_s=args.duration)
@@ -783,7 +856,40 @@ def build_parser() -> argparse.ArgumentParser:
     agroup.add_argument(
         "--rows", help=".npy with (n, cols) new customer rows to append"
     )
+    append.add_argument(
+        "--defer-summaries",
+        action="store_true",
+        dest="defer_summaries",
+        help="skip the summary-store refresh (catch up later with "
+        "`repro summarize`); the append itself stays crash-atomic",
+    )
     append.set_defaults(func=cmd_append)
+
+    summarize = sub.add_parser(
+        "summarize",
+        help="materialize or refresh a model's summary store (rollups)",
+    )
+    summarize.add_argument(
+        "target", help="model directory (warehouse root with --all)"
+    )
+    summarize.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_models",
+        help="treat TARGET as a warehouse root; summarize every model",
+    )
+    summarize.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="cold-recompute even when the store is fresh",
+    )
+    summarize.add_argument(
+        "--start-date",
+        default=None,
+        help="calendar date of column 0 (YYYY-MM-DD) for calendar-aligned "
+        "month/quarter/year buckets",
+    )
+    summarize.set_defaults(func=cmd_summarize)
 
     cell = sub.add_parser("cell", help="reconstruct one cell")
     cell.add_argument("model", help="model directory")

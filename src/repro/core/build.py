@@ -198,6 +198,12 @@ def build_compressed(
                 indent=2,
             )
         )
+        # Summaries ride the same staged swap: a freshly built model
+        # lands with its rollups already materialized and stamped for
+        # generation (appends=0, this delta count).
+        from repro.summaries.compute import materialize_summaries
+
+        materialize_summaries(staging)
         write_manifest(staging)
     if _obs.enabled:
         _obs.gauge("build.deltas_retained").set(num_deltas)

@@ -60,9 +60,16 @@ class DeltaIndex:
         keys: cell keys ``row * num_cols + col`` (need not be sorted).
         values: the delta for each key, aligned with ``keys``.
         num_cols: ``M`` of the matrix the keys address.
+        assume_sorted: skip the argsort *and the defensive copies* —
+            the key/value arrays are adopted as-is.  Only pass True for
+            arrays already validated strictly increasing (the canonical
+            delta-file order, which :meth:`DeltaFile.read_arrays` and
+            :meth:`DeltaFile.map_arrays` both enforce); this is what
+            lets worker processes index straight over a shared mmap
+            without ever materializing a private copy.
     """
 
-    def __init__(self, keys, values, num_cols: int) -> None:
+    def __init__(self, keys, values, num_cols: int, assume_sorted: bool = False) -> None:
         keys = np.asarray(keys, dtype=np.int64).ravel()
         values = np.asarray(values, dtype=np.float64).ravel()
         if keys.shape != values.shape:
@@ -71,12 +78,19 @@ class DeltaIndex:
             )
         if num_cols < 1:
             raise ConfigurationError(f"num_cols must be >= 1, got {num_cols}")
-        order = np.argsort(keys, kind="stable")
-        self._keys = np.ascontiguousarray(keys[order])
-        self._values = np.ascontiguousarray(values[order])
+        if assume_sorted:
+            self._keys = keys
+            self._values = values
+        else:
+            order = np.argsort(keys, kind="stable")
+            self._keys = np.ascontiguousarray(keys[order])
+            self._values = np.ascontiguousarray(values[order])
         self._num_cols = int(num_cols)
-        self._rows = self._keys // self._num_cols
-        self._cols = self._keys % self._num_cols
+        # Derived row/col arrays materialize on first use: cell lookups
+        # and row slices never need them, and a mapped index should not
+        # allocate 2x its key bytes up front.
+        self._rows_cache: np.ndarray | None = None
+        self._cols_cache: np.ndarray | None = None
         self._col_order: np.ndarray | None = None  # built on first for_col
         #: Probe accounting: scalar/batched lookups, keys tested, hits.
         self.stats = {"lookups": 0, "keys_probed": 0, "hits": 0}
@@ -111,6 +125,20 @@ class DeltaIndex:
         return self._keys
 
     @property
+    def _rows(self) -> np.ndarray:
+        if self._rows_cache is None:
+            # Benign race: concurrent first calls compute identical
+            # arrays and the last assignment wins.
+            self._rows_cache = self._keys // self._num_cols
+        return self._rows_cache
+
+    @property
+    def _cols(self) -> np.ndarray:
+        if self._cols_cache is None:
+            self._cols_cache = self._keys % self._num_cols
+        return self._cols_cache
+
+    @property
     def rows(self) -> np.ndarray:
         """Row of each stored delta, aligned with :attr:`keys`."""
         return self._rows
@@ -126,13 +154,14 @@ class DeltaIndex:
         return self._values
 
     def size_bytes(self) -> int:
-        """In-memory footprint of the key/row/col/value arrays."""
-        return int(
-            self._keys.nbytes
-            + self._values.nbytes
-            + self._rows.nbytes
-            + self._cols.nbytes
-        )
+        """In-memory footprint: keys/values plus any materialized
+        derived arrays (lazy row/col caches count only once built)."""
+        total = int(self._keys.nbytes + self._values.nbytes)
+        if self._rows_cache is not None:
+            total += int(self._rows_cache.nbytes)
+        if self._cols_cache is not None:
+            total += int(self._cols_cache.nbytes)
+        return total
 
     # -- hash-table-compatible scalar access --------------------------------
 
@@ -182,7 +211,9 @@ class DeltaIndex:
         """``(cols, deltas)`` stored for one row — a contiguous key slice."""
         lo = np.searchsorted(self._keys, row * self._num_cols)
         hi = np.searchsorted(self._keys, (row + 1) * self._num_cols)
-        return self._cols[lo:hi], self._values[lo:hi]
+        # Derive columns from the key slice directly (tiny) rather than
+        # touching the full lazy column cache.
+        return self._keys[lo:hi] % self._num_cols, self._values[lo:hi]
 
     def for_col(self, col: int) -> tuple[np.ndarray, np.ndarray]:
         """``(rows, deltas)`` stored for one column."""

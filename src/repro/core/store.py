@@ -221,6 +221,13 @@ class CompressedMatrix:
                 "bytes_per_value": bytes_per_value,
             }
             (staging / _META_NAME).write_text(json.dumps(meta, indent=2))
+            # Materialize the summary store inside staging so a saved
+            # model is born with fresh rollups — dashboards never pay a
+            # first-query cold build.  Lazy import: repro.summaries sits
+            # above the storage layer this module otherwise stays in.
+            from repro.summaries.compute import materialize_summaries
+
+            materialize_summaries(staging)
             write_manifest(staging)
         return cls.open(directory)
 
@@ -386,8 +393,8 @@ class CompressedMatrix:
             zero_rows = cls._load_zero_rows(
                 directory, meta, manifest_files, on_corrupt, degraded_reasons
             )
-            deltas, bloom = cls._load_deltas(
-                directory, meta, manifest_files, on_corrupt, degraded_reasons
+            deltas, bloom, delta_mm = cls._load_deltas(
+                directory, meta, manifest_files, on_corrupt, degraded_reasons, mapped
             )
         except ReproError:
             u_store.close()
@@ -398,6 +405,13 @@ class CompressedMatrix:
         store = cls(u_store, eigenvalues, v, deltas, bloom, directory, zero_rows)
         store._bytes_per_value = bytes_per_value
         store._open_options = (pool_capacity, on_corrupt, mapped)
+        store._delta_mm = delta_mm
+        # Stash the open-time generation facts for summary validation:
+        # a degraded open may drop the in-memory deltas while the
+        # summary files were built for the full model, and post-swap
+        # the live directory may already hold a *newer* generation.
+        store._meta = meta
+        store._appends = cls._read_update_appends(directory)
         if degraded_reasons:
             store._degraded_reasons = tuple(degraded_reasons)
             _obs.counter("store.degraded_opens").inc()
@@ -459,10 +473,19 @@ class CompressedMatrix:
         manifest_files: dict,
         on_corrupt: str,
         degraded_reasons: list[str],
-    ) -> tuple[DeltaIndex | None, BloomFilter | None]:
-        """Load the outlier table, degrading to SVD-only if asked."""
+        mapped: bool = False,
+    ):
+        """Load the outlier table, degrading to SVD-only if asked.
+
+        Returns ``(deltas, bloom, mm)``.  With ``mapped=True`` the
+        record body stays a shared read-only mapping (``mm`` is the
+        open map the caller must release on close) and the index adopts
+        the validated zero-copy views directly — a worker pool over one
+        model shares a single physical copy of the delta table, exactly
+        like ``u.mat``.
+        """
         if meta["num_deltas"] <= 0:
-            return None, None
+            return None, None, None
         delta_path = directory / _DELTAS_NAME
         try:
             cls._manifest_size_check(directory, manifest_files, _DELTAS_NAME)
@@ -472,12 +495,20 @@ class CompressedMatrix:
             # meta.json: a deltas.bin appended (or swapped) without its
             # metadata commit — e.g. a torn incremental append — must
             # degrade or fail here, never serve a stale index silently.
-            keys, values = DeltaFile.read_arrays(
-                delta_path,
-                num_cells=int(meta["rows"]) * int(meta["cols"]),
-                expected_count=int(meta["num_deltas"]),
-            )
-            deltas = DeltaIndex(keys, values, meta["cols"])
+            num_cells = int(meta["rows"]) * int(meta["cols"])
+            expected = int(meta["num_deltas"])
+            mm = None
+            if mapped:
+                keys, values, mm = DeltaFile.map_arrays(
+                    delta_path, num_cells=num_cells, expected_count=expected
+                )
+            else:
+                keys, values = DeltaFile.read_arrays(
+                    delta_path, num_cells=num_cells, expected_count=expected
+                )
+            # Both loaders validated strict key order, so the index can
+            # adopt the arrays without its own argsort + copies.
+            deltas = DeltaIndex(keys, values, meta["cols"], assume_sorted=True)
             bloom = None
             if meta.get("bloom"):
                 # Directories written before the FPR was persisted fall
@@ -485,12 +516,23 @@ class CompressedMatrix:
                 fpr = float(meta.get("bloom_fpr") or _BLOOM_FPR_DEFAULT)
                 bloom = BloomFilter(max(1, len(deltas)), fpr)
                 bloom.update(int(key) for key in keys)
-            return deltas, bloom
+            return deltas, bloom, mm
         except (FormatError, ChecksumError) as exc:
             if on_corrupt == "raise":
                 raise
             degraded_reasons.append(str(exc))
-            return None, None
+            return None, None, None
+
+    @staticmethod
+    def _read_update_appends(directory: Path) -> int:
+        """The append generation counter (0 for never-appended models)."""
+        try:
+            # Name owned by repro.core.build (importing it here would
+            # cycle); the format is stable.
+            state = json.loads((directory / "update_state.json").read_text())
+            return int(state.get("appends", 0))
+        except (OSError, ValueError, TypeError):
+            return 0
 
     def reopen(self) -> "CompressedMatrix":
         """Open a fresh store over the directory's *current* contents.
@@ -512,8 +554,21 @@ class CompressedMatrix:
         )
 
     def close(self) -> None:
-        """Release the U store's file handle."""
+        """Release the U store's file handle and any delta mapping."""
         self._u_store.close()
+        mm = self._delta_mm
+        if mm is not None:
+            self._delta_mm = None
+            # Drop the index (and the bloom built over its keys) so the
+            # mmap's exported buffers are released before closing.
+            self._deltas = None
+            self._bloom = None
+            try:
+                mm.close()
+            except BufferError:
+                # A caller still holds an array view into the map; the
+                # mapping is released when that reference dies.
+                pass
 
     def __enter__(self) -> "CompressedMatrix":
         return self
@@ -576,6 +631,48 @@ class CompressedMatrix:
 
     #: Validation failures absorbed by ``open(on_corrupt="degraded")``.
     _degraded_reasons: tuple[str, ...] = ()
+
+    #: Open delta-file mapping when opened with ``mapped=True`` (None
+    #: otherwise); released by :meth:`close`.
+    _delta_mm = None
+
+    #: ``meta.json`` as read at open time, for summary-store generation
+    #: validation (survives degraded opens that drop the delta index).
+    _meta: dict | None = None
+
+    #: ``update_state.json``'s append counter at open time.
+    _appends: int = 0
+
+    _summaries_cache = None
+    _summaries_checked: bool = False
+
+    @property
+    def summaries(self):
+        """The model's :class:`~repro.summaries.store.SummaryStore`,
+        or None when absent or stamped for a different generation.
+
+        Loaded lazily on first access and cached (including a cached
+        *miss* — a model without summaries should not pay a stat dance
+        per query).  Validation compares the summary state against the
+        meta/update-state facts captured when *this store* was opened,
+        so a post-append directory swap can never pair a new summary
+        file with this store's pre-append snapshot.
+        """
+        if not self._summaries_checked:
+            from repro.summaries.store import SummaryStore
+
+            meta = self._meta or {}
+            expected = (
+                int(meta.get("rows", self.shape[0])),
+                int(meta.get("cols", self.shape[1])),
+                int(meta.get("num_deltas", self.num_deltas)),
+                self._appends,
+            )
+            self._summaries_cache = SummaryStore.load(
+                self._directory, expected=expected, mapped=self.mapped
+            )
+            self._summaries_checked = True
+        return self._summaries_cache
 
     @property
     def bytes_per_value(self) -> int:

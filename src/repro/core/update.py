@@ -303,6 +303,108 @@ def _reused_entries(manifest_files: dict, names: tuple[str, ...]) -> dict:
     return {name: manifest_files[name] for name in names if name in manifest_files}
 
 
+def _update_summaries(
+    directory: Path,
+    staging: Path,
+    old_meta: dict,
+    old_appends: int,
+    new_appends: int,
+    new_shape: tuple[int, int],
+    old_keys: np.ndarray,
+    old_values: np.ndarray,
+    merged_keys: np.ndarray,
+    merged_values: np.ndarray,
+    refresh: bool,
+) -> None:
+    """Maintain the summary store inside an append's staging directory.
+
+    ``old_keys``/``old_values`` are the pre-append deltas *in the
+    post-append key space* (column appends re-base the packed keys);
+    comparing them against the merged set yields the churned cells —
+    the delta budget re-competition can evict an old outlier far from
+    the appended region, and the tile holding it reconstructs
+    differently from then on.
+
+    Three outcomes:
+
+    - ``refresh`` with a valid prior → recompute only the dirty tiles
+      (appended region, resized boundary tiles, churn tiles) —
+      bit-identical to a cold rebuild;
+    - ``refresh`` without one → cold build inside staging;
+    - ``refresh=False`` (deferred) → hardlink the summary files forward
+      with the *old* coverage recorded in a re-stamped state, so a
+      later ``repro summarize`` can catch up incrementally.  Valid only
+      when every churned cell lies outside the covered region;
+      otherwise the covered tiles can no longer be trusted and the
+      summaries are dropped instead.
+    """
+    from repro.summaries import compute as summaries
+
+    prior = summaries.load_prior(directory)
+    if prior is not None:
+        stamped = (
+            int(prior["state"]["rows"]),
+            int(prior["state"]["cols"]),
+            int(prior["state"]["num_deltas"]),
+            int(prior["state"]["appends"]),
+        )
+        expected = (
+            int(old_meta["rows"]),
+            int(old_meta["cols"]),
+            int(old_meta["num_deltas"]),
+            old_appends,
+        )
+        if stamped != expected:
+            prior = None
+    if prior is None:
+        if refresh:
+            with _span("update.summaries", mode="cold"):
+                summaries.materialize_summaries(staging)
+        return
+    churn = summaries.changed_cells(
+        old_keys, old_values, merged_keys, merged_values
+    )
+    covered = (
+        int(prior["state"]["covered_rows"]),
+        int(prior["state"]["covered_cols"]),
+    )
+    if refresh:
+        dirty = summaries.dirty_tiles(covered[0], covered[1], new_shape, churn)
+        with _span(
+            "update.summaries",
+            mode="incremental",
+            tiles=sum(len(chunks) for chunks in dirty.values()),
+            churn=int(churn.size),
+        ):
+            summaries.materialize_summaries(staging, prior=prior, dirty=dirty)
+        if _obs.enabled:
+            _obs.counter("update.summary_refreshes").inc()
+        return
+    churn_rows = churn // new_shape[1]
+    churn_cols = churn % new_shape[1]
+    confined = bool(
+        np.all((churn_rows >= covered[0]) | (churn_cols >= covered[1]))
+    )
+    if not confined:
+        if _obs.enabled:
+            _obs.counter("update.summary_drops").inc()
+        return
+    for name in summaries.SUMMARY_FILES:
+        if name == summaries.STATE_NAME:
+            continue
+        source = directory / name
+        if source.exists():
+            _link_or_copy(source, staging / name)
+    state = dict(prior["state"])
+    state["rows"] = int(new_shape[0])
+    state["cols"] = int(new_shape[1])
+    state["num_deltas"] = int(merged_keys.size)
+    state["appends"] = int(new_appends)
+    (staging / summaries.STATE_NAME).write_text(json.dumps(state, indent=2))
+    if _obs.enabled:
+        _obs.counter("update.summary_defers").inc()
+
+
 # -- append columns (new days) ---------------------------------------------
 
 
@@ -310,6 +412,7 @@ def append_columns(
     model_dir: str | os.PathLike,
     new_cols: np.ndarray,
     drift_threshold: float | None = None,
+    refresh_summaries: bool = True,
 ) -> AppendResult:
     """Fold ``d`` new days into an existing model without a rebuild.
 
@@ -321,6 +424,11 @@ def append_columns(
             customer per appended day.
         drift_threshold: override the advisory rebuild threshold
             (persisted for subsequent appends).
+        refresh_summaries: incrementally refresh the summary store as
+            part of the append (only tiles overlapping the new days or
+            churned deltas recompute).  ``False`` defers the refresh to
+            a later ``repro summarize`` when the churn pattern allows
+            it, otherwise drops the summaries.
 
     The append costs two streamed passes over the on-disk ``U`` (each
     ``O(N k)`` I/O), one ``(M+d)``-sized eigenproblem, and the delta
@@ -473,6 +581,19 @@ def append_columns(
         np.save(staging / GRAM_NAME, new_gram)
         (staging / "meta.json").write_text(json.dumps(meta, indent=2))
         _write_state(staging, state)
+        _update_summaries(
+            directory,
+            staging,
+            ctx["meta"],
+            int(ctx["state"].get("appends", 0)),
+            int(state["appends"]),
+            (num_rows, new_total_cols),
+            remapped,
+            ctx["delta_values"],
+            merged_keys,
+            merged_values,
+            refresh_summaries,
+        )
         write_manifest(
             staging,
             reuse=_reused_entries(ctx["manifest_files"], ("u.mat", "lambda.npy")),
@@ -501,6 +622,7 @@ def append_rows(
     model_dir: str | os.PathLike,
     new_rows: np.ndarray,
     drift_threshold: float | None = None,
+    refresh_summaries: bool = True,
 ) -> AppendResult:
     """Fold new customers into an existing model without a rebuild.
 
@@ -629,6 +751,19 @@ def append_rows(
         np.save(staging / GRAM_NAME, new_gram)
         (staging / "meta.json").write_text(json.dumps(meta, indent=2))
         _write_state(staging, state)
+        _update_summaries(
+            directory,
+            staging,
+            ctx["meta"],
+            int(ctx["state"].get("appends", 0)),
+            int(state["appends"]),
+            (new_total_rows, num_cols),
+            ctx["delta_keys"],
+            ctx["delta_values"],
+            merged_keys,
+            merged_values,
+            refresh_summaries,
+        )
         write_manifest(
             staging,
             reuse=_reused_entries(ctx["manifest_files"], ("lambda.npy", "v.npy")),

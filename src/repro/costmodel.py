@@ -77,6 +77,10 @@ class PhysicalDesign:
         cell_accesses: random accesses per single-cell query.
         wholesale: the representation must be read (and decoded) in
             full for *any* query — the paper's criticism of gzip.
+        flat_aggregate: aggregate cost is one access to the whole
+            representation regardless of rows touched — the summary
+            route, whose answer lives in precomputed rollups rather
+            than in per-row pages.
     """
 
     name: str
@@ -85,6 +89,7 @@ class PhysicalDesign:
     cell_access_bytes: int
     cell_accesses: int = 1
     wholesale: bool = False
+    flat_aggregate: bool = False
 
     def cell_query_ms(self) -> float:
         """Estimated latency of one ad hoc cell query."""
@@ -95,6 +100,10 @@ class PhysicalDesign:
 
     def aggregate_query_ms(self, rows_touched: int) -> float:
         """Estimated latency of an aggregate touching ``rows_touched`` rows."""
+        if self.flat_aggregate:
+            # Rollup-served: one read of the (small) summary arrays,
+            # zero per-row page fetches.
+            return self.tier.access_ms(self.total_bytes)
         if self.wholesale or not self.tier.random_access:
             return self.tier.scan_ms(self.total_bytes)
         # One access per touched row block, amortizing sequential runs
@@ -145,4 +154,30 @@ def svdd_design(
         tier=tier,
         total_bytes=total,
         cell_access_bytes=max(64, cutoff * 8),  # one U row (one block)
+    )
+
+
+def summary_design(
+    num_rows: int, num_cols: int, tier: StorageTier = MEMORY
+) -> PhysicalDesign:
+    """The materialized summary store: the dashboard-aggregate route.
+
+    Footprint is the marginal profiles (4 stats per customer and per
+    day) plus the time-hierarchy rollups — O(N + M), independent of the
+    model rank.  A covered aggregate costs one read of these arrays and
+    zero ``u.mat`` pages (``aggregate_query_ms`` ignores rows touched),
+    which is the cost asymmetry ``repro explain`` reports as
+    ``path=summary``.  Cell queries are not served by summaries; pair
+    this design with :func:`svdd_design` for them.
+    """
+    # 4 stats x (rows + cols) marginals; the five rollup levels hold
+    # ~1.2 M buckets of 4 stats plus their edges.
+    marginals = (num_rows + num_cols) * 4 * 8
+    rollups = int(num_cols * 1.2) * (4 + 1) * 8
+    return PhysicalDesign(
+        name=f"summaries on {tier.name}",
+        tier=tier,
+        total_bytes=marginals + rollups,
+        cell_access_bytes=marginals + rollups,
+        flat_aggregate=True,
     )

@@ -29,7 +29,7 @@ from repro.query.executor import (
     coerce_query,
     usable_cpu_count,
 )
-from repro.query.groupby import column_totals, row_totals, top_rows
+from repro.query.groupby import bucket_series, column_totals, row_totals, top_rows
 from repro.query.process_executor import ProcessQueryExecutor
 from repro.query.parser import format_query, parse_query
 from repro.query.sampling import UniformSamplingEstimator
@@ -44,6 +44,7 @@ from repro.query.workload import random_aggregate_queries, random_cell_queries
 
 __all__ = [
     "AggregateQuery",
+    "bucket_series",
     "column_totals",
     "row_totals",
     "top_rows",

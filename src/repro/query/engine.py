@@ -23,6 +23,8 @@ from repro.obs.profile import QueryProfile, StatDelta
 from repro.obs.registry import registry as _obs
 from repro.obs.slowlog import slow_query_log as _slowlog
 from repro.obs.tracing import span as _span
+from repro.query.components import finalize as _finalize_components
+from repro.query.components import stream_components
 from repro.query.fastpath import (
     FACTOR_FUNCTIONS,
     factor_aggregate,
@@ -164,6 +166,16 @@ class QueryEngine:
             values.  Aggregates that genuinely need per-cell values
             (min/max, non-factor backends) raise :class:`QueryError`
             instead of silently streaming delta-corrected rows.
+        use_summaries: consult the backend's precomputed summary store
+            (:class:`~repro.summaries.store.SummaryStore`) before any
+            other path.  A selection spanning a full axis is answered
+            from materialized rollups — exact, delta-inclusive, zero
+            ``u.mat`` pages — with any uncovered edge streamed as a
+            residual and merged.  Only active while ``include_deltas``
+            is True: summaries fold the outlier deltas in, so the
+            brownout engine must not serve them from its normal path
+            (the serving tier uses :meth:`try_summary` explicitly and
+            marks those answers exact).
     """
 
     def __init__(
@@ -171,12 +183,19 @@ class QueryEngine:
         backend,
         use_fast_path: bool = True,
         include_deltas: bool = True,
+        use_summaries: bool = True,
     ) -> None:
         self._raw_backend = backend
         self._backend = _Backend(backend)
         self._use_fast_path = use_fast_path
         self._include_deltas = include_deltas
-        self.stats = {"fast_path_hits": 0, "streamed": 0}
+        self._use_summaries = use_summaries
+        self.stats = {
+            "fast_path_hits": 0,
+            "streamed": 0,
+            "summary_hits": 0,
+            "summary_partial": 0,
+        }
         # Query evaluation itself is stateless per call; this lock only
         # guards the path counters so concurrent executor workers can
         # share one engine without losing increments.
@@ -345,6 +364,12 @@ class QueryEngine:
         row_idx, col_idx = query.selection.resolve(backend.shape)
         if row_idx.size == 0 or col_idx.size == 0:
             raise QueryError("aggregate over an empty selection")
+        if self._use_summaries and self._include_deltas:
+            outcome = self._summary_aggregate(
+                query.function, row_idx, col_idx, raw, backend
+            )
+            if outcome is not None:
+                return outcome
         if self._use_fast_path:
             outcome = factor_aggregate(
                 raw,
@@ -375,48 +400,143 @@ class QueryEngine:
             )
         with self._stats_lock:
             self.stats["streamed"] += 1
-        total = 0.0
-        total_sq = 0.0
-        minimum = np.inf
-        maximum = -np.inf
-        count = 0
         with _span("query.stream.scan", rows=int(row_idx.size)):
-            for start in range(0, int(row_idx.size), _STREAM_BLOCK_ROWS):
-                chunk = row_idx[start : start + _STREAM_BLOCK_ROWS]
-                block = backend.block(chunk, col_idx)
-                if block is None:
-                    # Row-at-a-time fallback for backends without a batch form.
-                    block = np.stack(
-                        [backend.row(int(index))[col_idx] for index in chunk]
-                    )
-                total += float(block.sum())
-                total_sq += float((block * block).sum())
-                minimum = min(minimum, float(block.min()))
-                maximum = max(maximum, float(block.max()))
-                count += int(block.size)
-        value = self._finalize(query.function, total, total_sq, minimum, maximum, count)
+            comps = stream_components(backend, row_idx, col_idx)
+        value = _finalize_components(query.function, comps)
         return (
             QueryResult(
-                value=value, cells_touched=count, rows_fetched=int(row_idx.size)
+                value=value,
+                cells_touched=comps.count,
+                rows_fetched=int(row_idx.size),
             ),
             "stream",
+        )
+
+    def _summary_aggregate(
+        self, function: str, row_idx, col_idx, raw, backend: _Backend
+    ) -> tuple[QueryResult, str] | None:
+        """Answer from the summary store, or None when it cannot help.
+
+        A full hit touches no ``u.mat`` pages at all; a partial hit
+        ("summary+factor") streams only the residual rectangles the
+        rollups do not cover and merges components — exact either way.
+        """
+        store = getattr(raw, "summaries", None)
+        if store is None:
+            return None
+        # The store validated itself against the backend's open-time
+        # generation, but a shape mismatch would misclassify partial
+        # coverage — guard explicitly.
+        if (store.model_rows, store.model_cols) != tuple(backend.shape):
+            return None
+        plan = store.plan(row_idx, col_idx)
+        if plan is None:
+            return None
+        comps = plan.core
+        rows_fetched = 0
+        if plan.residuals:
+            with _span(
+                "query.stream.scan",
+                rows=sum(int(rows.size) for rows, _cols in plan.residuals),
+            ):
+                for rows, cols in plan.residuals:
+                    comps = comps.merge(stream_components(backend, rows, cols))
+                    rows_fetched += int(rows.size)
+        value = _finalize_components(function, comps)
+        path = "summary" if plan.full_hit else "summary+factor"
+        with self._stats_lock:
+            self.stats[
+                "summary_hits" if plan.full_hit else "summary_partial"
+            ] += 1
+        if _obs.enabled:
+            _obs.counter(f"query.path.{path}").inc()
+        return (
+            QueryResult(
+                value=value,
+                cells_touched=comps.count,
+                rows_fetched=rows_fetched,
+            ),
+            path,
+        )
+
+    def try_summary(self, query) -> QueryResult | None:
+        """Answer an aggregate *entirely* from the summary store.
+
+        Returns None unless the store fully covers the selection — no
+        residual streaming, no factor math, zero page reads.  Works
+        regardless of ``include_deltas``: the rollups fold the deltas
+        in at materialization time, so even the brownout (SVD-only)
+        engine can hand out these answers as exact.  That is how the
+        dispatcher un-sheds min/max during brownout.
+        """
+        if not isinstance(query, AggregateQuery) or not self._use_summaries:
+            return None
+        raw, backend = self._snapshot()
+        store = getattr(raw, "summaries", None)
+        if store is None:
+            return None
+        if (store.model_rows, store.model_cols) != tuple(backend.shape):
+            return None
+        try:
+            row_idx, col_idx = query.selection.resolve(backend.shape)
+        except QueryError:
+            return None
+        plan = store.plan(row_idx, col_idx)
+        if plan is None or not plan.full_hit:
+            return None
+        value = _finalize_components(query.function, plan.core)
+        with self._stats_lock:
+            self.stats["summary_hits"] += 1
+        profile = None
+        if _obs.enabled:
+            _obs.counter("query.path.summary").inc()
+            profile = QueryProfile(
+                path="summary",
+                function=query.function,
+                cells=plan.core.count,
+                rows_fetched=0,
+                pages_read=0,
+                backend=type(raw).__name__,
+            )
+        return QueryResult(
+            value=value,
+            cells_touched=plan.core.count,
+            rows_fetched=0,
+            profile=profile,
         )
 
     def explain(self, query: "AggregateQuery | CellQuery") -> dict:
         """Describe how a query would execute, without executing it.
 
-        Returns a dict with ``path`` ('cell' | 'factor' | 'stream'), the
-        number of cells the selection covers, and the row fetches the
-        chosen path would perform (0 for factor math over in-memory
-        models; the selected U rows for a disk-resident backend).  The
-        plan is computed from backend capabilities alone — no pages are
-        read and no backend state changes.
+        Returns a dict with ``path`` ('cell' | 'summary' |
+        'summary+factor' | 'factor' | 'stream'), the number of cells
+        the selection covers, and the row fetches the chosen path would
+        perform (0 for factor math over in-memory models or a summary
+        full hit; the selected U rows for a disk-resident backend).
+        The plan is computed from backend capabilities alone — no pages
+        are read and no backend state changes.
         """
         if isinstance(query, CellQuery):
             return {"path": "cell", "cells": 1, "estimated_row_fetches": 1}
         raw, backend = self._snapshot()
         row_idx, col_idx = query.selection.resolve(backend.shape)
         cells = int(row_idx.size * col_idx.size)
+        if self._use_summaries and self._include_deltas:
+            store = getattr(raw, "summaries", None)
+            if store is not None and (
+                store.model_rows,
+                store.model_cols,
+            ) == tuple(backend.shape):
+                plan = store.plan(row_idx, col_idx)
+                if plan is not None:
+                    fetches = sum(
+                        int(rows.size) for rows, _cols in plan.residuals
+                    )
+                    return {
+                        "path": "summary" if plan.full_hit else "summary+factor",
+                        "cells": cells,
+                        "estimated_row_fetches": fetches,
+                    }
         factor_capable = (
             self._use_fast_path
             and query.function in FACTOR_FUNCTIONS
@@ -448,20 +568,8 @@ class QueryEngine:
         maximum: float,
         count: int,
     ) -> float:
-        if count == 0:
-            raise QueryError("aggregate over an empty selection")
-        if function == "sum":
-            return total
-        if function == "avg":
-            return total / count
-        if function == "count":
-            return float(count)
-        if function == "min":
-            return minimum
-        if function == "max":
-            return maximum
-        if function == "stddev":
-            mean = total / count
-            variance = max(total_sq / count - mean * mean, 0.0)
-            return float(np.sqrt(variance))
-        raise QueryError(f"unknown aggregate {function!r}")
+        from repro.query.components import Components
+
+        return _finalize_components(
+            function, Components(total, total_sq, minimum, maximum, count)
+        )

@@ -11,8 +11,11 @@ worker *process* pool:
   (``CompressedMatrix.open(mapped=True)``).  No per-process BufferPool
   duplicates pages: every worker's reads resolve against the same
   kernel page-cache pages, so N workers cost one copy of the model in
-  physical memory.  The pinned factors (``lambda.npy``, ``v.npy``) and
-  the delta table are small and load per worker.
+  physical memory.  The delta sidecar rides the same trick: a mapped
+  open serves the sorted key/value arrays as zero-copy views over a
+  shared ``deltas.bin`` mapping (``DeltaFile.map_arrays``), so the
+  delta table is also one physical copy across the pool.  Only the
+  pinned factors (``lambda.npy``, ``v.npy``) load per worker.
 - **Queries are pickled in, results are pickled out.**  The picklable
   boundary is exactly the engine's query/result dataclasses:
   :class:`~repro.query.engine.CellQuery` /

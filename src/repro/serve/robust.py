@@ -17,12 +17,16 @@ request flows through it as:
    (:mod:`repro.serve.breaker`, fed by the executor's ``on_rebuild``
    hook), pool dispatch is bypassed entirely;
 5. **brownout** — under sustained shedding, a tripped breaker, or a
-   degraded model open, factor-capable queries are answered *in the
-   parent* from the SVD factors alone
+   degraded model open, the dispatcher first tries the materialized
+   summary store: a full-axis aggregate covered by the rollups is
+   answered **exactly** (``degraded: false``, zero ``u.mat`` pages) —
+   including min/max, which the SVD factors alone could not serve
+   honestly.  Everything else falls to the parent-side SVD-only engine
    (``QueryEngine(include_deltas=False)``): no delta pass, no worker
    round-trip, an answer stamped ``degraded: true`` with the model's
    stored residual estimate.  Queries that genuinely need per-cell
-   values (min/max) are shed instead of silently served wrong.
+   values and miss the summaries are shed instead of silently served
+   wrong.
 
 A worker crash mid-request surfaces as ``BrokenProcessPool`` on the
 future; the dispatcher retries exactly once against the rebuilt pool —
@@ -51,6 +55,7 @@ from repro.obs.registry import registry as _obs
 from repro.query.engine import AggregateQuery, CellQuery, QueryEngine
 from repro.query.executor import coerce_query
 from repro.query.fastpath import FACTOR_FUNCTIONS
+from repro.query.groupby import bucket_series
 from repro.query.process_executor import ProcessQueryExecutor
 from repro.serve.admission import AdmissionController
 from repro.serve.breaker import CircuitBreaker
@@ -143,6 +148,10 @@ class RobustDispatcher:
         self.degraded_answers = 0
         self.deadline_misses = 0
         self.pool_retries = 0
+        self.summary_hits = 0
+        self.summary_partial = 0
+        self.summary_misses = 0
+        self.summary_brownout_hits = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -303,7 +312,16 @@ class RobustDispatcher:
                 _obs.counter("server.pool_retries").inc()
 
     def _dispatch_degraded(self, query, start_ns: int) -> dict:
-        """The brownout path: answer locally from the SVD factors."""
+        """The brownout path: exact summary answer when covered, else
+        the SVD factors alone."""
+        summary = self._fallback.try_summary(query)
+        if summary is not None:
+            # The rollups are exact (delta-corrected at materialization
+            # time), so this answer is NOT degraded — and it un-sheds
+            # min/max, which the factor-only engine must refuse.
+            self.summary_brownout_hits += 1
+            _obs.counter("server.summary.brownout_hits").inc()
+            return self._payload(summary, start_ns, degraded=False)
         if not self._can_degrade(query):
             self._note_shed()
             raise self.admission.shed(
@@ -332,6 +350,43 @@ class RobustDispatcher:
             payload["trace_id"] = result.profile.trace_id
         return payload
 
+    def groupby(self, by: str, function: str, limit: int | None = None) -> dict:
+        """A whole dashboard series from the summary store.
+
+        Runs in the parent against the mapped fallback backend — a
+        summary hit reads only the small rollup arrays (zero ``u.mat``
+        pages, no pool round-trip), which is why group-bys stay cheap
+        even while the pool is rebuilding.  Admission still applies: a
+        stale store's streamed residual is real work.  Raises
+        :class:`~repro.exceptions.QueryError` for a bad axis/function,
+        :class:`~repro.exceptions.OverloadedError` when shed.
+        """
+        if self._draining:
+            raise self.admission.shed(
+                "drain", "server is draining; connection will not be retried here"
+            )
+        start_ns = time.monotonic_ns()
+        try:
+            ticket = self.admission.admit()
+        except OverloadedError:
+            self._note_shed()
+            raise
+        with ticket:
+            series = bucket_series(self._fallback_backend, by, function, limit)
+        path = series["path"]
+        if path == "summary":
+            self.summary_hits += 1
+            _obs.counter("server.summary.hits").inc()
+        elif path == "summary+stream":
+            self.summary_partial += 1
+            _obs.counter("server.summary.partial").inc()
+        else:
+            self.summary_misses += 1
+            _obs.counter("server.summary.misses").inc()
+        series["degraded"] = bool(self.model_degraded and path != "summary")
+        series["elapsed_ms"] = round((time.monotonic_ns() - start_ns) / 1e6, 3)
+        return series
+
     def explain(self, query) -> dict:
         """Plan a query without executing it (no pool round-trip).
 
@@ -356,6 +411,10 @@ class RobustDispatcher:
             "pool_restarts": self.executor.restarts,
             "breaker_state": self.breaker.state,
             "breaker_trips": self.breaker.trips,
+            "summary_hits": self.summary_hits,
+            "summary_partial": self.summary_partial,
+            "summary_misses": self.summary_misses,
+            "summary_brownout_hits": self.summary_brownout_hits,
             "brownout": self.brownout_active(),
             "model_degraded": self.model_degraded,
             "rmspe_estimate": self.rmspe,

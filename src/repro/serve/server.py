@@ -8,6 +8,10 @@
   (:mod:`repro.query.parser`);
 - ``GET /cell?row=R&col=C`` — one cell;
 - ``GET /aggregate?fn=sum&rows=0:50&cols=0:30`` — one aggregate;
+- ``GET /groupby?by=month&fn=sum[&limit=N]`` — a whole dashboard
+  series from the materialized summary store (zero ``u.mat`` pages on
+  a hit; ``by`` is ``day``/``week``/``month``/``quarter``/``year``/
+  ``customer``);
 - ``GET /explain?q=<text>`` — the engine's plan, never executed;
 - ``GET /stats`` — the dispatcher's health snapshot (JSON);
 - ``GET /healthz`` / ``/healthz/live`` — liveness (always ``ok``);
@@ -103,6 +107,8 @@ class _QueryHandler(BaseEndpointHandler):
                 self._run_query(self._cell_query(params), params)
             elif path == "/aggregate":
                 self._run_query(self._aggregate_query(params), params)
+            elif path == "/groupby":
+                self._groupby(params)
             elif path == "/explain":
                 self._explain(params)
             else:
@@ -192,6 +198,21 @@ class _QueryHandler(BaseEndpointHandler):
         payload = self.dispatcher.dispatch(
             query, timeout_ms=self._timeout_ms(params)
         )
+        self._reply(200, _JSON, json.dumps(payload).encode())
+
+    def _groupby(self, params: dict) -> None:
+        by = self._one(params, "by") or "day"
+        fn = self._one(params, "fn") or "sum"
+        raw_limit = self._one(params, "limit")
+        limit = None
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                raise QueryError(
+                    f"limit must be an integer, got {raw_limit!r}"
+                ) from None
+        payload = self.dispatcher.groupby(by, fn, limit=limit)
         self._reply(200, _JSON, json.dumps(payload).encode())
 
     def _explain(self, params: dict) -> None:

@@ -11,6 +11,7 @@ can be charged against the storage budget).
 
 from __future__ import annotations
 
+import mmap
 import os
 import struct
 import zlib
@@ -124,6 +125,84 @@ class DeltaFile:
                     "(canonical files are sorted and duplicate-free)"
                 )
         return keys, deltas
+
+    @staticmethod
+    def map_arrays(
+        path: str | os.PathLike,
+        num_cells: int | None = None,
+        expected_count: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, "mmap.mmap"]:
+        """Memory-map a delta file as ``(keys, deltas, mm)``.
+
+        The mmap-backed twin of :meth:`read_arrays` — same header/CRC
+        validation and key-range/ordering checks, but the record body is
+        a shared read-only mapping instead of a private heap copy, so a
+        pool of worker processes mapping the same file shares one
+        physical copy of the page cache (the same trick ``u.mat`` plays
+        via ``MatrixStore.open(mapped=True)``).
+
+        ``keys`` is a zero-copy strided int64 view into the mapping;
+        ``deltas`` is likewise zero-copy for float64 files and a small
+        upcast copy for float32 ones.  The caller owns ``mm`` and must
+        keep it open for as long as the arrays are alive, then drop the
+        array references before closing it.
+        """
+        header_size = struct.calcsize(_HEADER_FMT)
+        with open(path, "rb") as handle:
+            try:
+                mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # zero-length file
+                raise FormatError(f"{path}: truncated delta file") from exc
+        view = body = None
+        try:
+            view = memoryview(mm)
+            if len(view) < header_size:
+                raise FormatError(f"{path}: truncated delta file")
+            magic, count, crc = struct.unpack_from(_HEADER_FMT, view)
+            if magic not in _BY_MAGIC:
+                raise FormatError(f"{path}: bad magic {magic!r}")
+            record_size, record_dtype = _BY_MAGIC[magic]
+            body = view[header_size : header_size + count * record_size]
+            if len(body) != count * record_size:
+                raise FormatError(
+                    f"{path}: expected {count} records, file holds "
+                    f"{(len(view) - header_size) // record_size}"
+                )
+            if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+                raise ChecksumError(f"{path}: delta records failed checksum")
+            records = np.frombuffer(
+                mm, dtype=record_dtype, count=count, offset=header_size
+            )
+            keys = records["k"]  # strided view, no copy
+            if record_dtype["d"] == np.dtype("<f8"):
+                deltas = records["d"]
+            else:
+                deltas = records["d"].astype(np.float64)
+            if expected_count is not None and keys.size != expected_count:
+                raise FormatError(
+                    f"{path}: holds {keys.size} delta records but the model "
+                    f"metadata expects {expected_count} — stale or torn delta file"
+                )
+            if num_cells is not None and keys.size:
+                if keys.min() < 0 or keys.max() >= num_cells:
+                    raise FormatError(
+                        f"{path}: delta key range [{keys.min()}, {keys.max()}] "
+                        f"outside the matrix's cells [0, {num_cells})"
+                    )
+                if keys.size > 1 and not (np.diff(keys) > 0).all():
+                    raise FormatError(
+                        f"{path}: delta keys are not strictly increasing "
+                        "(canonical files are sorted and duplicate-free)"
+                    )
+        except BaseException:
+            view = body = None
+            try:
+                mm.close()
+            except BufferError:
+                pass
+            raise
+        del body, view
+        return keys, deltas, mm
 
     @staticmethod
     def read(path: str | os.PathLike) -> OpenAddressingTable:

@@ -170,7 +170,9 @@ class TestVectorizedAggregates:
 
 class TestAccounting:
     def test_fast_path_reports_real_row_fetches_on_disk(self, saved):
-        engine = QueryEngine(saved, use_fast_path=True)
+        # use_summaries=False: a full-column selection would otherwise be
+        # answered from the materialized rollups without touching U.
+        engine = QueryEngine(saved, use_fast_path=True, use_summaries=False)
         query = AggregateQuery("sum", Selection(rows=range(10)))
         result = engine.aggregate(query)
         assert engine.stats["fast_path_hits"] == 1
@@ -188,12 +190,18 @@ class TestAccounting:
         assert result.rows_fetched == 0
 
     def test_explain_performs_no_disk_access(self, saved):
-        engine = QueryEngine(saved)
+        engine = QueryEngine(saved, use_summaries=False)
         before = saved.u_pool_stats.accesses
         plan = engine.explain(AggregateQuery("sum", Selection(rows=range(25))))
         assert saved.u_pool_stats.accesses == before  # side-effect free
         assert plan["path"] == "factor"
         assert plan["estimated_row_fetches"] == 25
+
+    def test_explain_reports_summary_path_for_covered_selection(self, saved):
+        engine = QueryEngine(saved)
+        plan = engine.explain(AggregateQuery("sum", Selection(rows=range(25))))
+        assert plan["path"] == "summary"
+        assert plan["estimated_row_fetches"] == 0
 
     def test_explain_estimate_matches_execution(self, saved):
         engine = QueryEngine(saved)

@@ -129,11 +129,29 @@ class TestBrownout:
         assert payload["degraded"] is True
         assert np.isfinite(payload["value"])
 
-    def test_min_max_shed_during_brownout(self, brownout_dispatcher):
+    def test_full_matrix_min_max_exact_from_summaries(
+        self, brownout_dispatcher, serve_model_dir
+    ):
+        # Full-axis min/max are covered by the summary rollups, so the
+        # brownout path answers them exactly instead of shedding.
+        from repro.core.store import CompressedMatrix
+
+        for _ in range(2):
+            brownout_dispatcher._note_shed()
+        payload = brownout_dispatcher.dispatch("min()")
+        assert payload["degraded"] is False
+        with CompressedMatrix.open(serve_model_dir) as store:
+            exact = QueryEngine(store).execute(parse_query("min()"))
+        assert payload["value"] == exact.value
+        assert brownout_dispatcher.summary_brownout_hits >= 1
+
+    def test_sub_rectangle_min_max_still_shed_during_brownout(
+        self, brownout_dispatcher
+    ):
         for _ in range(2):
             brownout_dispatcher._note_shed()
         with pytest.raises(OverloadedError) as excinfo:
-            brownout_dispatcher.dispatch("min()")
+            brownout_dispatcher.dispatch("min() rows 0:10 cols 0:10")
         assert excinfo.value.reason == "brownout"
 
     def test_brownout_exits_when_window_drains(self, serve_model_dir):
@@ -164,7 +182,11 @@ class TestBreakerIntegration:
         try:
             dispatcher.breaker.record_failure()
             assert dispatcher.breaker.state == "open"
-            payload = dispatcher.dispatch("avg() rows 0:10")
+            # Full-axis selections stay exact via the summary store even
+            # with the breaker open; only uncovered shapes degrade.
+            covered = dispatcher.dispatch("avg() rows 0:10")
+            assert covered["degraded"] is False
+            payload = dispatcher.dispatch("avg() rows 0:10 cols 0:10")
             assert payload["degraded"] is True
         finally:
             dispatcher.close()
@@ -214,7 +236,12 @@ class TestDegradedModelOpen:
         dispatcher = RobustDispatcher(directory, config)
         try:
             if dispatcher.model_degraded:
-                payload = dispatcher.dispatch("sum() rows 0:10")
+                # The rollups folded the (now-lost) deltas in when they
+                # were materialized at build time, so full-axis answers
+                # survive the corrupt sidecar exactly.
+                covered = dispatcher.dispatch("sum() rows 0:10")
+                assert covered["degraded"] is False
+                payload = dispatcher.dispatch("sum() rows 0:10 cols 0:10")
                 assert payload["degraded"] is True
         finally:
             dispatcher.close()

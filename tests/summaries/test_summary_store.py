@@ -1,0 +1,179 @@
+"""The summary store's read side: exactness, planning, validation.
+
+Every number served from the rollups must equal what a full
+delta-corrected scan of the model produces — the store is a cache of
+exact answers, not an approximation.  The loader must refuse anything
+not stamped for the live model generation (shape, delta count, append
+counter) so a crashed or foreign store silently falls back to the
+factor path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedMatrix, build_compressed
+from repro.exceptions import QueryError
+from repro.query import AggregateQuery, QueryEngine, Selection
+from repro.summaries import LEVELS, SummaryStore, level_edges
+from repro.summaries.compute import S_MAX, S_MIN, S_SUM, STATE_NAME
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory):
+    rng = np.random.default_rng(1997)
+    data = rng.random((180, 95)) * 10
+    data[4, 9] += 300.0  # outliers so the delta sidecar is non-empty
+    data[77, 50] += 250.0
+    directory = tmp_path_factory.mktemp("summaries") / "model"
+    store = build_compressed(data, directory, budget_fraction=0.20)
+    store.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def exact(model_dir):
+    with CompressedMatrix.open(model_dir) as store:
+        rows, cols = store.shape
+        return store.reconstruct_range(np.arange(rows), np.arange(cols))
+
+
+class TestLevelEdges:
+    def test_structural_widths(self):
+        edges = level_edges("week", 30)
+        assert edges[0] == 0 and edges[-1] == 30
+        assert list(np.diff(edges))[:-1] == [7] * 4  # trailing bucket clipped
+
+    def test_day_is_identity(self):
+        assert level_edges("day", 5).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_calendar_months(self):
+        # Column 0 = 1996-01-15: first boundary at Feb 1 (day 17).
+        edges = level_edges("month", 60, start_date="1996-01-15")
+        assert edges[0] == 0 and edges[1] == 17
+        assert edges[2] == 17 + 29  # Feb 1996 is a leap month
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(QueryError):
+            level_edges("fortnight", 30)
+
+
+class TestExactness:
+    def test_marginals_match_reconstruction(self, model_dir, exact):
+        store = SummaryStore.load(model_dir)
+        assert store is not None and store.fresh
+        np.testing.assert_allclose(
+            store.col_stats[S_SUM], exact.sum(axis=0), rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            store.row_stats[S_SUM], exact.sum(axis=1), rtol=1e-9
+        )
+        # min/max are exact comparisons, not accumulations.
+        np.testing.assert_array_equal(store.col_stats[S_MIN], exact.min(axis=0))
+        np.testing.assert_array_equal(store.row_stats[S_MAX], exact.max(axis=1))
+
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_level_rollups_match_reconstruction(self, model_dir, exact, level):
+        store = SummaryStore.load(model_dir)
+        edges = store.level_edges(level)
+        stats = store.level_stats(level)
+        for i in range(edges.size - 1):
+            block = exact[:, edges[i] : edges[i + 1]]
+            assert stats[S_SUM, i] == pytest.approx(block.sum(), rel=1e-9)
+            assert stats[S_MIN, i] == block.min()
+            assert stats[S_MAX, i] == block.max()
+
+    @pytest.mark.parametrize(
+        "function", ["sum", "avg", "count", "min", "max", "stddev"]
+    )
+    def test_engine_summary_equals_streamed(self, model_dir, function, exact):
+        with CompressedMatrix.open(model_dir) as saved:
+            query = AggregateQuery(function, Selection(cols=range(0, 95, 3)))
+            with_summaries = QueryEngine(saved).aggregate(query)
+            reference = QueryEngine(saved, use_summaries=False).aggregate(query)
+            assert with_summaries.value == pytest.approx(
+                reference.value, rel=1e-9, abs=1e-9
+            )
+            assert with_summaries.rows_fetched == 0
+
+    def test_grand_components(self, model_dir, exact):
+        store = SummaryStore.load(model_dir)
+        grand = store.grand
+        assert grand.total == pytest.approx(exact.sum(), rel=1e-12)
+        assert grand.minimum == exact.min()
+        assert grand.maximum == exact.max()
+        assert grand.count == exact.size
+
+
+class TestPlanning:
+    def test_full_axis_plans(self, model_dir):
+        store = SummaryStore.load(model_dir)
+        rows, cols = store.model_rows, store.model_cols
+        plan = store.plan(np.arange(rows), np.arange(0, cols, 2))
+        assert plan is not None and plan.full_hit
+        plan = store.plan(np.arange(0, rows, 5), np.arange(cols))
+        assert plan is not None and plan.full_hit
+
+    def test_sub_rectangle_returns_none(self, model_dir):
+        store = SummaryStore.load(model_dir)
+        assert store.plan(np.arange(10), np.arange(10)) is None
+
+    @pytest.mark.parametrize("function", ["sum", "min", "max", "stddev"])
+    def test_bucket_values_match_reconstruction(self, model_dir, exact, function):
+        store = SummaryStore.load(model_dir)
+        edges, values = store.bucket_values("month", function)
+        for i in range(edges.size - 1):
+            block = exact[:, edges[i] : edges[i + 1]]
+            ref = {
+                "sum": block.sum,
+                "min": block.min,
+                "max": block.max,
+                "stddev": block.std,
+            }[function]()
+            assert values[i] == pytest.approx(float(ref), rel=1e-9, abs=1e-9)
+
+    def test_bucket_values_rejects_unknown_axis(self, model_dir):
+        store = SummaryStore.load(model_dir)
+        with pytest.raises(QueryError):
+            store.bucket_values("hour", "sum")
+
+
+class TestValidation:
+    def test_missing_store_loads_none(self, tmp_path):
+        assert SummaryStore.load(tmp_path) is None
+
+    def test_stale_generation_refused(self, model_dir, tmp_path):
+        import shutil
+
+        copy = tmp_path / "copy"
+        shutil.copytree(model_dir, copy)
+        state = json.loads((copy / STATE_NAME).read_text())
+        state["appends"] += 1  # claims a generation the model is not at
+        (copy / STATE_NAME).write_text(json.dumps(state))
+        assert SummaryStore.load(copy) is None
+        # The open model falls back cleanly: factor path, not a crash.
+        with CompressedMatrix.open(copy) as saved:
+            assert saved.summaries is None
+            engine = QueryEngine(saved)
+            result = engine.aggregate(AggregateQuery("sum", Selection()))
+            assert engine.stats["summary_hits"] == 0
+            assert np.isfinite(result.value)
+
+    def test_corrupt_summary_array_refused(self, model_dir, tmp_path):
+        import shutil
+
+        copy = tmp_path / "copy"
+        shutil.copytree(model_dir, copy)
+        (copy / "summary_cols.npy").write_bytes(b"not an npy file")
+        assert SummaryStore.load(copy) is None
+
+    def test_wrong_shape_refused(self, model_dir, tmp_path):
+        import shutil
+
+        copy = tmp_path / "copy"
+        shutil.copytree(model_dir, copy)
+        np.save(copy / "summary_cols.npy", np.zeros((4, 3)))
+        assert SummaryStore.load(copy) is None
