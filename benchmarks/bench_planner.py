@@ -1,0 +1,140 @@
+"""Planner calibration: predicted route costs vs measured latencies.
+
+The cost-based planner is only trustworthy if its *ranking* survives
+contact with the hardware: the route it prices cheapest must actually
+be the fastest to execute.  This bench builds the phone model, forces
+each route in turn (summary = default engine on a covered selection,
+factor = summaries disabled, stream = fast path disabled too, svd =
+the SVD-only brownout engine), records the planner's predicted cost
+and pages next to the measured wall time and buffer-pool accesses, and
+asserts the predicted ordering of the exact routes {summary, factor,
+stream} matches the measured ordering.  The approximate ``svd`` route
+is recorded ungated — it competes on error budget, not just latency —
+and the zero-page property of the summary route is asserted outright.
+
+Emits ``benchmarks/results/BENCH_planner.json`` for the CI acceptance
+step.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit, emit_json, format_table
+from repro.core import CompressedMatrix, build_compressed
+from repro.data import phone_matrix
+from repro.query import AggregateQuery, QueryEngine, Selection
+
+ROWS = 5_000
+BUDGET = 0.10
+REPEATS = 5
+
+
+def _measure(engine, query, repeats=REPEATS) -> float:
+    """Median wall seconds of one aggregate on a warm engine."""
+    engine.aggregate(query)  # warm the pool and code paths
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.aggregate(query)
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_planner_ranking_matches_measured(tmp_path_factory, benchmark):
+    root = tmp_path_factory.mktemp("planner")
+    data = phone_matrix(ROWS)
+    build_compressed(data, root / "model", BUDGET).close()
+
+    # A dashboard aggregate covered by the rollups, answerable by every
+    # route: the engines below force each lattice arm onto the same
+    # query so the comparison is apples-to-apples.
+    query = AggregateQuery("avg", Selection(cols=range(0, 120)))
+
+    with CompressedMatrix.open(root / "model") as store:
+        engines = {
+            "summary": QueryEngine(store),
+            "factor": QueryEngine(store, use_summaries=False),
+            "stream": QueryEngine(
+                store, use_summaries=False, use_fast_path=False
+            ),
+            "svd": QueryEngine(
+                store, use_summaries=False, include_deltas=False
+            ),
+        }
+
+        # Price every route first, against the same cold buffer pool —
+        # measuring one route warms the pool and would skew the next
+        # route's predicted page costs.
+        routes: dict[str, dict] = {}
+        for name, engine in engines.items():
+            plan = engine.plan(query)
+            assert plan.route.name == name, (
+                f"engine flags failed to force {name!r}: planned "
+                f"{plan.route.name!r}"
+            )
+            routes[name] = {
+                "predicted_cost_ms": plan.route.cost_ms,
+                "predicted_pages": plan.route.pages,
+                "error_bound": plan.route.error_bound,
+            }
+
+        for name, engine in engines.items():
+            store.u_pool_stats.reset()
+            result = engine.aggregate(query)
+            assert result.route == name  # execute follows the plan
+            routes[name]["measured_pages"] = store.u_pool_stats.accesses
+            routes[name]["measured_ms"] = _measure(engine, query) * 1e3
+
+        benchmark(engines["summary"].aggregate, query)
+
+    # The summary route's zero-page property, measured not predicted.
+    assert routes["summary"]["measured_pages"] == 0, routes["summary"]
+    assert routes["summary"]["predicted_pages"] == 0
+
+    # Acceptance: the planner's cost ranking over the exact routes is
+    # the measured latency ranking.  (svd is approximate — it is chosen
+    # on error budget, so it stays out of the gate.)
+    exact = ("summary", "factor", "stream")
+    predicted_order = sorted(exact, key=lambda r: routes[r]["predicted_cost_ms"])
+    measured_order = sorted(exact, key=lambda r: routes[r]["measured_ms"])
+    assert predicted_order == measured_order, (
+        f"planner ranks {predicted_order} but hardware says {measured_order}"
+    )
+
+    rows = [
+        [
+            name,
+            f"{stats['predicted_cost_ms']:.3f}",
+            f"{stats['measured_ms']:.3f}",
+            f"{stats['predicted_pages']}",
+            f"{stats['measured_pages']}",
+            "exact" if stats["error_bound"] == 0.0 else f"{stats['error_bound']:.4f}",
+        ]
+        for name, stats in routes.items()
+    ]
+    emit(
+        "planner",
+        format_table(
+            f"Planner calibration ({ROWS} x 366, budget {BUDGET})",
+            ["route", "pred ms", "meas ms", "pred pages", "meas pages", "bound"],
+            rows,
+        ),
+    )
+    emit_json(
+        "planner",
+        params={
+            "rows": ROWS,
+            "cols": 366,
+            "budget_fraction": BUDGET,
+            "query": "avg cols 0:120",
+            "repeats": REPEATS,
+        },
+        metrics={
+            "routes": routes,
+            "predicted_order": predicted_order,
+            "measured_order": measured_order,
+            "ranking_consistent": predicted_order == measured_order,
+            "summary_pages_on_hit": routes["summary"]["measured_pages"],
+        },
+    )

@@ -59,6 +59,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -274,7 +275,9 @@ def cmd_aggregate(args) -> int:
         selection = Selection(
             rows=_parse_range(args.rows, rows), cols=_parse_range(args.cols, cols)
         )
-        query = AggregateQuery(args.function, selection)
+        query = AggregateQuery(
+            args.function, selection, max_rmspe=getattr(args, "max_rmspe", None)
+        )
         engine = QueryEngine(store)
         if getattr(args, "explain", False):
             print(json.dumps(engine.explain(query), indent=2))
@@ -296,6 +299,9 @@ def cmd_query(args) -> int:
     with CompressedMatrix.open(args.model) as store:
         engine = QueryEngine(store)
         query = parse_query(args.text)
+        budget = getattr(args, "max_rmspe", None)
+        if budget is not None and isinstance(query, AggregateQuery):
+            query = dataclasses.replace(query, max_rmspe=budget)
         if getattr(args, "explain", False):
             print(json.dumps(engine.explain(query), indent=2))
             return 0
@@ -915,6 +921,14 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument(
         "--profile", action="store_true", help="print the QueryProfile as JSON"
     )
+    aggregate.add_argument(
+        "--max-rmspe",
+        type=float,
+        default=None,
+        dest="max_rmspe",
+        help="error budget: admit the approximate SVD-only route when its "
+        "stored RMSPE fits (0 = exact only)",
+    )
     aggregate.set_defaults(func=cmd_aggregate)
 
     query = sub.add_parser("query", help="run a textual query against a model")
@@ -929,6 +943,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--profile", action="store_true", help="print the QueryProfile as JSON"
+    )
+    query.add_argument(
+        "--max-rmspe",
+        type=float,
+        default=None,
+        dest="max_rmspe",
+        help="error budget: admit the approximate SVD-only route when its "
+        "stored RMSPE fits (0 = exact only)",
     )
     query.set_defaults(func=cmd_query)
 

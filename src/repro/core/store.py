@@ -613,6 +613,13 @@ class CompressedMatrix:
         return self._u_store.mapped
 
     @property
+    def u_store(self):
+        """The paged :class:`~repro.storage.matrix_store.MatrixStore`
+        holding ``U`` — the store whose pages every row fetch hits.
+        Exposed read-only for the query planner's page accounting."""
+        return self._u_store
+
+    @property
     def u_pool_stats(self):
         """Buffer-pool counters of the U store — the 'disk accesses'."""
         return self._u_store.pool_stats
@@ -673,6 +680,26 @@ class CompressedMatrix:
             )
             self._summaries_checked = True
         return self._summaries_cache
+
+    _rmspe_cache: float | None = None
+    _rmspe_checked: bool = False
+
+    @property
+    def rmspe_estimate(self) -> float | None:
+        """Stored relative reconstruction error of the rank-k truncation.
+
+        Read lazily from ``update_state.json`` (see
+        :func:`repro.core.update.stored_rmspe_estimate`) and cached,
+        including a cached miss.  The query planner uses it as the
+        error bound of the SVD-only route; None means the model
+        predates the update subsystem and carries no estimate.
+        """
+        if not self._rmspe_checked:
+            from repro.core.update import stored_rmspe_estimate
+
+            self._rmspe_cache = stored_rmspe_estimate(self._directory)
+            self._rmspe_checked = True
+        return self._rmspe_cache
 
     @property
     def bytes_per_value(self) -> int:

@@ -50,6 +50,7 @@ the returned :class:`AppendResult`) carries ``rebuild_recommended``.
 from __future__ import annotations
 
 import json
+import math
 import os
 import shutil
 import time
@@ -62,7 +63,12 @@ import numpy as np
 from repro.core import space
 from repro.core.build import DRIFT_THRESHOLD_DEFAULT, GRAM_NAME, UPDATE_STATE_NAME
 from repro.core.store import CompressedMatrix, _u_columns
-from repro.exceptions import ConfigurationError, FormatError, ShapeError
+from repro.exceptions import (
+    ConfigurationError,
+    FormatError,
+    ShapeError,
+    StorageError,
+)
 from repro.linalg import default_eigensolver
 from repro.obs.logging import log_event
 from repro.obs.registry import registry as _obs
@@ -73,7 +79,13 @@ from repro.storage.integrity import load_manifest, write_manifest
 from repro.storage.matrix_store import MatrixStore
 from repro.structures.topk import TopKBuffer
 
-__all__ = ["AppendResult", "append_columns", "append_rows", "load_update_state"]
+__all__ = [
+    "AppendResult",
+    "append_columns",
+    "append_rows",
+    "load_update_state",
+    "stored_rmspe_estimate",
+]
 
 #: Rows per block when streaming the on-disk ``U`` file.
 _U_BLOCK_ROWS = 1024
@@ -135,6 +147,28 @@ def load_update_state(model_dir: str | os.PathLike) -> dict:
     if not isinstance(state, dict) or "budget_fraction" not in state:
         raise FormatError(f"{path}: update state missing 'budget_fraction'")
     return state
+
+
+def stored_rmspe_estimate(model_dir: str | os.PathLike) -> float | None:
+    """The model's stored residual error fraction, if recorded.
+
+    ``update_state.json`` tracks the energies the incremental
+    maintenance path needs (total signal energy and the SSE the rank-k
+    truncation left behind); their ratio's square root estimates the
+    relative reconstruction error an SVD-only answer carries.  The
+    query planner uses it as the error bound of the ``svd`` route.
+    None when the model predates the update subsystem or recorded no
+    energy.
+    """
+    try:
+        state = load_update_state(model_dir)
+    except (FormatError, StorageError, OSError):
+        return None
+    total = float(state.get("total_energy", 0.0) or 0.0)
+    residual = float(state.get("residual_sse", 0.0) or 0.0)
+    if total <= 0.0:
+        return None
+    return math.sqrt(max(residual, 0.0) / total)
 
 
 def _load_append_context(directory: Path) -> dict:

@@ -170,8 +170,10 @@ def summary_design(
     ``path=summary``.  Cell queries are not served by summaries; pair
     this design with :func:`svdd_design` for them.
     """
-    # 4 stats x (rows + cols) marginals; the five rollup levels hold
-    # ~1.2 M buckets of 4 stats plus their edges.
+    # 4 stats x (rows + cols) marginals; the five time-hierarchy rollup
+    # levels (day..year) hold ~1.2 x num_cols buckets between them
+    # (day:1 + week:1/7 + month:1/30 + ... sums to about 1.2 per day),
+    # each carrying 4 stats plus an edge.
     marginals = (num_rows + num_cols) * 4 * 8
     rollups = int(num_cols * 1.2) * (4 + 1) * 8
     return PhysicalDesign(

@@ -58,6 +58,16 @@ class QueryError(ReproError, ValueError):
     """A query referenced cells outside the matrix or was malformed."""
 
 
+class RouteUnavailableError(QueryError):
+    """The planner found no admissible route under the caller's budget.
+
+    A subclass of :class:`QueryError` so plain callers still see a
+    malformed-query error, but distinct so the serving tier can tell
+    "this engine cannot answer that exactly right now" (shed with
+    reason ``"brownout"``) apart from "the query itself is bad" (400).
+    """
+
+
 class DeadlineExceededError(ReproError, TimeoutError):
     """A query's deadline expired before (or while) it was answered.
 

@@ -59,6 +59,14 @@ class QueryProfile:
     stream_ns: int = 0
     #: Backend class name, for context in dumped profiles.
     backend: str = ""
+    #: Achieved error bound of the route that answered the query: 0.0
+    #: for exact routes, the model's stored RMSPE estimate for an
+    #: SVD-only answer, None when that estimate is unknown.
+    error_bound: float | None = 0.0
+    #: Pages the planner predicted the chosen route would touch; pair
+    #: with ``pages_read`` (measured) to audit the cost model.  None
+    #: for unplanned (cell) queries.
+    predicted_pages: int | None = None
     #: Trace id of the span tree this query ran under — the join key
     #: between profiles, structured log lines, and (for process-mode
     #: queries) the worker's grafted span tree.

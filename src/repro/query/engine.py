@@ -8,6 +8,13 @@ A backend is anything exposing the matrix's cells: a raw ndarray, a
 a common row-oriented access protocol, so the same query text runs
 exactly (against the raw data) and approximately (against a compressed
 form) — which is precisely how the paper measures Q_err.
+
+Aggregate routing is delegated to the cost-based planner
+(:func:`repro.plan.plan_aggregate`): the engine resolves the selection,
+asks the planner for the cheapest admissible route under the query's
+``max_rmspe`` error budget, and executes exactly that route.
+:meth:`QueryEngine.explain` returns the same plan's description, so the
+explained route *is* the executed route by construction.
 """
 
 from __future__ import annotations
@@ -18,19 +25,24 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, RouteUnavailableError
 from repro.obs.profile import QueryProfile, StatDelta
 from repro.obs.registry import registry as _obs
 from repro.obs.slowlog import slow_query_log as _slowlog
 from repro.obs.tracing import span as _span
+from repro.plan.planner import (
+    ROUTE_FACTOR,
+    ROUTE_STREAM,
+    ROUTE_SUMMARY,
+    ROUTE_SUMMARY_FACTOR,
+    ROUTE_SVD,
+    QueryPlan,
+    plan_aggregate,
+    validate_max_rmspe,
+)
 from repro.query.components import finalize as _finalize_components
 from repro.query.components import stream_components
-from repro.query.fastpath import (
-    FACTOR_FUNCTIONS,
-    factor_aggregate,
-    factor_fetch_count,
-    has_factor_form,
-)
+from repro.query.fastpath import factor_aggregate
 from repro.query.selection import Selection
 
 #: Rows per block in the vectorized streaming path (bounds the block's
@@ -53,23 +65,36 @@ class CellQuery:
 
 @dataclass(frozen=True)
 class AggregateQuery:
-    """An aggregate ``function`` over the cells of ``selection``."""
+    """An aggregate ``function`` over the cells of ``selection``.
+
+    ``max_rmspe`` is the per-query error budget handed to the planner:
+    None means exact-only on a delta-capable engine (and best-effort on
+    the brownout engine); ``0.0`` demands exactness everywhere; a
+    positive fraction admits the approximate SVD-only route when the
+    model's stored RMSPE estimate fits the budget.
+    """
 
     function: str
     selection: Selection
+    max_rmspe: float | None = None
 
     def __post_init__(self) -> None:
         if self.function not in AGGREGATES:
             raise QueryError(
                 f"unknown aggregate {self.function!r}; expected one of {AGGREGATES}"
             )
+        object.__setattr__(self, "max_rmspe", validate_max_rmspe(self.max_rmspe))
 
 
 @dataclass(frozen=True)
 class QueryResult:
     """An answered query: the value plus execution accounting.
 
-    ``profile`` carries the per-query
+    ``route`` names the planner route that produced the value (empty
+    for cell probes, which are not planned); ``error_bound`` is the
+    achieved bound — 0.0 for every exact route, the model's stored
+    RMSPE estimate for an SVD-only answer, None when that estimate is
+    unknown.  ``profile`` carries the per-query
     :class:`~repro.obs.profile.QueryProfile` (path taken, page reads,
     pool hit rate, phase timings) while the process-wide telemetry
     registry is enabled; it is None on unprofiled runs.
@@ -79,6 +104,36 @@ class QueryResult:
     cells_touched: int
     rows_fetched: int
     profile: QueryProfile | None = field(default=None, compare=False)
+    route: str = field(default="", compare=False)
+    error_bound: float | None = field(default=0.0, compare=False)
+
+
+def _as_cell_query(query) -> CellQuery:
+    """Coerce a ``(row, col)`` tuple into a :class:`CellQuery`.
+
+    Malformed tuples (wrong arity, non-numeric members) raise
+    :class:`QueryError` — never ``TypeError`` — so the serving tier's
+    "structured 400, never a traceback" contract holds for fuzzed
+    query payloads.
+    """
+    if isinstance(query, CellQuery):
+        return query
+    try:
+        arity = len(query)
+    except TypeError as exc:
+        raise QueryError(
+            f"unsupported cell query {query!r}: expected CellQuery or (row, col)"
+        ) from exc
+    if arity != 2:
+        raise QueryError(
+            f"cell query tuple must be (row, col); got {arity} elements"
+        )
+    try:
+        return CellQuery(int(query[0]), int(query[1]))
+    except (TypeError, ValueError) as exc:
+        raise QueryError(
+            f"cell query indices must be integers, got {query!r}"
+        ) from exc
 
 
 class _Backend:
@@ -163,19 +218,27 @@ class QueryEngine:
             backend offers it.  This is the serving tier's brownout
             engine: answers are the paper's rank-k approximation with
             bounded RMSPE, never the delta-corrected exact-outlier
-            values.  Aggregates that genuinely need per-cell values
-            (min/max, non-factor backends) raise :class:`QueryError`
-            instead of silently streaming delta-corrected rows.
-        use_summaries: consult the backend's precomputed summary store
-            (:class:`~repro.summaries.store.SummaryStore`) before any
-            other path.  A selection spanning a full axis is answered
-            from materialized rollups — exact, delta-inclusive, zero
+            values.  Two exceptions stay *exact* even in brownout: a
+            selection fully covered by the materialized rollups (they
+            fold deltas in at build time) and ``count``.  Aggregates
+            that genuinely need per-cell values (min/max off the
+            rollups, non-factor backends) raise
+            :class:`~repro.exceptions.RouteUnavailableError` instead of
+            silently streaming delta-corrected rows, which the serving
+            tier sheds as a brownout.
+        use_summaries: let the planner consider the backend's
+            precomputed summary store
+            (:class:`~repro.summaries.store.SummaryStore`).  A
+            selection spanning a full axis is answered from
+            materialized rollups — exact, delta-inclusive, zero
             ``u.mat`` pages — with any uncovered edge streamed as a
-            residual and merged.  Only active while ``include_deltas``
-            is True: summaries fold the outlier deltas in, so the
-            brownout engine must not serve them from its normal path
-            (the serving tier uses :meth:`try_summary` explicitly and
-            marks those answers exact).
+            residual and merged (the residual streaming needs the
+            delta-corrected rows, so partial hits require
+            ``include_deltas=True``).
+
+    Every aggregate is routed by :func:`repro.plan.plan_aggregate`
+    under the query's ``max_rmspe`` budget; :meth:`explain` and
+    :meth:`aggregate` call the same planner with the same inputs.
     """
 
     def __init__(
@@ -251,8 +314,7 @@ class QueryEngine:
         :class:`~repro.obs.profile.QueryProfile` measuring the probe's
         page accesses and wall time.
         """
-        if isinstance(query, tuple):
-            query = CellQuery(*query)
+        query = _as_cell_query(query)
         raw, backend = self._snapshot()
         rows, cols = backend.shape
         if not 0 <= query.row < rows:
@@ -294,10 +356,8 @@ class QueryEngine:
         accounting stays exact — each result reports its own single cell
         and row fetch, matching :meth:`cell`.
         """
-        pairs = [
-            (query.row, query.col) if isinstance(query, CellQuery) else query
-            for query in queries
-        ]
+        coerced = [_as_cell_query(query) for query in queries]
+        pairs = [(query.row, query.col) for query in coerced]
         if not pairs:
             return []
         rows = np.asarray([p[0] for p in pairs], dtype=np.int64)
@@ -314,28 +374,72 @@ class QueryEngine:
             for value in values
         ]
 
-    def aggregate(self, query: AggregateQuery) -> QueryResult:
-        """Answer an aggregate query.
+    def plan(
+        self, query: AggregateQuery, *, max_rmspe: float | None = None
+    ) -> QueryPlan:
+        """The planner's decision for ``query``, without executing it.
 
-        Uses the factor-space fast path when available (see
-        :mod:`repro.query.fastpath`), otherwise streams the selected
-        rows through the backend in vectorized blocks.  Either way
-        ``rows_fetched`` reports the true number of backend row fetches
-        the evaluation performed (0 for purely in-memory factor math).
-        While telemetry is enabled the result also carries a
-        :class:`~repro.obs.profile.QueryProfile` with the path taken,
-        page accesses, pool hit rate, and phase timings.
+        ``max_rmspe`` overrides the query's own budget when given.
+        This is exactly the plan :meth:`aggregate` would execute — one
+        shared :func:`repro.plan.plan_aggregate` call sits behind both.
+
+        Raises :class:`~repro.exceptions.RouteUnavailableError` when no
+        admissible route satisfies the budget (so explain and execute
+        fail identically too).
         """
         raw, backend = self._snapshot()
+        plan, _row_idx, _col_idx = self._plan(query, raw, backend, max_rmspe)
+        return plan
+
+    def _plan(self, query: AggregateQuery, raw, backend: _Backend, max_rmspe):
+        """Resolve the selection and route it through the planner."""
+        budget = (
+            validate_max_rmspe(max_rmspe)
+            if max_rmspe is not None
+            else query.max_rmspe
+        )
+        row_idx, col_idx = query.selection.resolve(backend.shape)
+        if row_idx.size == 0 or col_idx.size == 0:
+            raise QueryError("aggregate over an empty selection")
+        plan = plan_aggregate(
+            raw,
+            query.function,
+            row_idx,
+            col_idx,
+            use_fast_path=self._use_fast_path,
+            include_deltas=self._include_deltas,
+            use_summaries=self._use_summaries,
+            max_rmspe=budget,
+        )
+        return plan, row_idx, col_idx
+
+    def aggregate(
+        self, query: AggregateQuery, *, max_rmspe: float | None = None
+    ) -> QueryResult:
+        """Answer an aggregate query along its planned route.
+
+        The route comes from :func:`repro.plan.plan_aggregate` — the
+        cheapest admissible one under the query's ``max_rmspe`` budget
+        (overridable per call) — and ``rows_fetched`` reports the true
+        number of backend row fetches the evaluation performed (0 for
+        purely in-memory factor math).  ``QueryResult.route`` and
+        ``QueryResult.error_bound`` record the route taken and its
+        achieved bound.  While telemetry is enabled the result also
+        carries a :class:`~repro.obs.profile.QueryProfile` with the
+        path taken, page accesses (measured *and* planner-predicted),
+        pool hit rate, and phase timings.
+        """
+        raw, backend = self._snapshot()
+        plan, row_idx, col_idx = self._plan(query, raw, backend, max_rmspe)
         if not _obs.enabled:
-            result, _path = self._run_aggregate(query, raw, backend)
-            return result
+            return self._execute_plan(query, plan, row_idx, col_idx, raw, backend)
+        _obs.counter(f"planner.route.{plan.route.name}").inc()
         capture = StatDelta(raw)
         start = time.perf_counter_ns()
         with _span("query.aggregate", function=query.function) as root:
-            result, path = self._run_aggregate(query, raw, backend)
+            result = self._execute_plan(query, plan, row_idx, col_idx, raw, backend)
         profile = QueryProfile(
-            path=path,
+            path=result.route,
             function=query.function,
             cells=result.cells_touched,
             rows_fetched=result.rows_fetched,
@@ -346,117 +450,117 @@ class QueryEngine:
             stream_ns=root.total_ns("query.stream.scan"),
             backend=type(raw).__name__,
             trace_id=root.trace_id or "",
+            error_bound=result.error_bound,
+            predicted_pages=plan.route.pages,
             **capture.collect(),
         )
         _slowlog.maybe_record(query, profile, root)
         return replace(result, profile=profile)
 
-    def _run_aggregate(
-        self, query: AggregateQuery, raw, backend: _Backend
-    ) -> tuple[QueryResult, str]:
-        """Execute an aggregate against one backend snapshot.
+    def _execute_plan(
+        self,
+        query: AggregateQuery,
+        plan: QueryPlan,
+        row_idx: np.ndarray,
+        col_idx: np.ndarray,
+        raw,
+        backend: _Backend,
+    ) -> QueryResult:
+        """Execute the planner's chosen route against one snapshot.
 
         ``raw``/``backend`` come from :meth:`_snapshot` so the whole
-        evaluation — shape resolution, fast path, and every streamed
-        chunk — sees a single backend even if :meth:`refresh` swaps the
+        evaluation — planning, fast path, and every streamed chunk —
+        sees a single backend even if :meth:`refresh` swaps the
         engine's backend mid-query.
         """
-        row_idx, col_idx = query.selection.resolve(backend.shape)
-        if row_idx.size == 0 or col_idx.size == 0:
-            raise QueryError("aggregate over an empty selection")
-        if self._use_summaries and self._include_deltas:
-            outcome = self._summary_aggregate(
-                query.function, row_idx, col_idx, raw, backend
-            )
-            if outcome is not None:
-                return outcome
-        if self._use_fast_path:
+        route = plan.route.name
+        if route in (ROUTE_SUMMARY, ROUTE_SUMMARY_FACTOR):
+            return self._run_summary(query.function, plan, backend)
+        if route in (ROUTE_FACTOR, ROUTE_SVD):
             outcome = factor_aggregate(
                 raw,
                 row_idx,
                 col_idx,
                 query.function,
-                include_deltas=self._include_deltas,
+                include_deltas=route == ROUTE_FACTOR,
             )
-            if outcome is not None:
-                value, rows_fetched = outcome
-                with self._stats_lock:
-                    self.stats["fast_path_hits"] += 1
-                return (
-                    QueryResult(
-                        value=value,
-                        cells_touched=int(row_idx.size * col_idx.size),
-                        rows_fetched=rows_fetched,
-                    ),
-                    "factor",
+            if outcome is None:
+                # The backend lost its factor form between planning and
+                # execution (a refresh race) — fall back to the exact
+                # stream when the engine mode allows, refuse otherwise.
+                if self._include_deltas:
+                    return self._run_stream(query.function, row_idx, col_idx, backend)
+                raise RouteUnavailableError(
+                    f"aggregate {query.function!r}: factor form vanished "
+                    "mid-query and the SVD-only engine cannot stream"
                 )
-        if not self._include_deltas:
-            # Streaming reconstructs delta-corrected rows, which would
-            # silently un-degrade the answer — refuse instead so the
-            # serving tier can shed these during brownout.
-            raise QueryError(
-                f"aggregate {query.function!r} needs per-cell values, which "
-                "the SVD-only (brownout) engine cannot provide"
-            )
-        with self._stats_lock:
-            self.stats["streamed"] += 1
-        with _span("query.stream.scan", rows=int(row_idx.size)):
-            comps = stream_components(backend, row_idx, col_idx)
-        value = _finalize_components(query.function, comps)
-        return (
-            QueryResult(
+            value, rows_fetched = outcome
+            with self._stats_lock:
+                self.stats["fast_path_hits"] += 1
+            return QueryResult(
                 value=value,
-                cells_touched=comps.count,
-                rows_fetched=int(row_idx.size),
-            ),
-            "stream",
-        )
+                cells_touched=plan.cells,
+                rows_fetched=rows_fetched,
+                route=route,
+                error_bound=plan.route.error_bound,
+            )
+        return self._run_stream(query.function, row_idx, col_idx, backend)
 
-    def _summary_aggregate(
-        self, function: str, row_idx, col_idx, raw, backend: _Backend
-    ) -> tuple[QueryResult, str] | None:
-        """Answer from the summary store, or None when it cannot help.
+    def _run_summary(
+        self, function: str, plan: QueryPlan, backend: _Backend
+    ) -> QueryResult:
+        """Serve a summary full or partial hit chosen by the planner.
 
         A full hit touches no ``u.mat`` pages at all; a partial hit
         ("summary+factor") streams only the residual rectangles the
         rollups do not cover and merges components — exact either way.
         """
-        store = getattr(raw, "summaries", None)
-        if store is None:
-            return None
-        # The store validated itself against the backend's open-time
-        # generation, but a shape mismatch would misclassify partial
-        # coverage — guard explicitly.
-        if (store.model_rows, store.model_cols) != tuple(backend.shape):
-            return None
-        plan = store.plan(row_idx, col_idx)
-        if plan is None:
-            return None
-        comps = plan.core
+        summary = plan.summary_plan
+        comps = summary.core
         rows_fetched = 0
-        if plan.residuals:
+        if summary.residuals:
             with _span(
                 "query.stream.scan",
-                rows=sum(int(rows.size) for rows, _cols in plan.residuals),
+                rows=sum(int(rows.size) for rows, _cols in summary.residuals),
             ):
-                for rows, cols in plan.residuals:
+                for rows, cols in summary.residuals:
                     comps = comps.merge(stream_components(backend, rows, cols))
                     rows_fetched += int(rows.size)
         value = _finalize_components(function, comps)
-        path = "summary" if plan.full_hit else "summary+factor"
+        route = plan.route.name
         with self._stats_lock:
             self.stats[
-                "summary_hits" if plan.full_hit else "summary_partial"
+                "summary_hits" if summary.full_hit else "summary_partial"
             ] += 1
         if _obs.enabled:
-            _obs.counter(f"query.path.{path}").inc()
-        return (
-            QueryResult(
-                value=value,
-                cells_touched=comps.count,
-                rows_fetched=rows_fetched,
-            ),
-            path,
+            _obs.counter(f"query.path.{route}").inc()
+        return QueryResult(
+            value=value,
+            cells_touched=comps.count,
+            rows_fetched=rows_fetched,
+            route=route,
+            error_bound=0.0,
+        )
+
+    def _run_stream(
+        self,
+        function: str,
+        row_idx: np.ndarray,
+        col_idx: np.ndarray,
+        backend: _Backend,
+    ) -> QueryResult:
+        """Stream the selected rows in vectorized blocks (exact)."""
+        with self._stats_lock:
+            self.stats["streamed"] += 1
+        with _span("query.stream.scan", rows=int(row_idx.size)):
+            comps = stream_components(backend, row_idx, col_idx)
+        value = _finalize_components(function, comps)
+        return QueryResult(
+            value=value,
+            cells_touched=comps.count,
+            rows_fetched=int(row_idx.size),
+            route=ROUTE_STREAM,
+            error_bound=0.0,
         )
 
     def try_summary(self, query) -> QueryResult | None:
@@ -503,61 +607,35 @@ class QueryEngine:
             cells_touched=plan.core.count,
             rows_fetched=0,
             profile=profile,
+            route="summary",
+            error_bound=0.0,
         )
 
-    def explain(self, query: "AggregateQuery | CellQuery") -> dict:
+    def explain(
+        self,
+        query: "AggregateQuery | CellQuery",
+        *,
+        max_rmspe: float | None = None,
+    ) -> dict:
         """Describe how a query would execute, without executing it.
 
-        Returns a dict with ``path`` ('cell' | 'summary' |
-        'summary+factor' | 'factor' | 'stream'), the number of cells
-        the selection covers, and the row fetches the chosen path would
-        perform (0 for factor math over in-memory models or a summary
-        full hit; the selected U rows for a disk-resident backend).
-        The plan is computed from backend capabilities alone — no pages
-        are read and no backend state changes.
+        For aggregates this is :meth:`plan` serialized: ``path`` is the
+        route :meth:`aggregate` will take (same planner, same inputs),
+        plus the selection's cell count, the chosen route's estimated
+        row fetches / pages / cost, its error bound, and every other
+        candidate and rejected route.  Planning reads no pages and
+        changes no backend state.
+
+        Raises :class:`~repro.exceptions.RouteUnavailableError` exactly
+        when :meth:`aggregate` would — an unanswerable query explains
+        as unanswerable instead of inventing a route.
         """
-        if isinstance(query, CellQuery):
+        if isinstance(query, (CellQuery, tuple)):
+            _as_cell_query(query)  # arity/type validation only
             return {"path": "cell", "cells": 1, "estimated_row_fetches": 1}
         raw, backend = self._snapshot()
-        row_idx, col_idx = query.selection.resolve(backend.shape)
-        cells = int(row_idx.size * col_idx.size)
-        if self._use_summaries and self._include_deltas:
-            store = getattr(raw, "summaries", None)
-            if store is not None and (
-                store.model_rows,
-                store.model_cols,
-            ) == tuple(backend.shape):
-                plan = store.plan(row_idx, col_idx)
-                if plan is not None:
-                    fetches = sum(
-                        int(rows.size) for rows, _cols in plan.residuals
-                    )
-                    return {
-                        "path": "summary" if plan.full_hit else "summary+factor",
-                        "cells": cells,
-                        "estimated_row_fetches": fetches,
-                    }
-        factor_capable = (
-            self._use_fast_path
-            and query.function in FACTOR_FUNCTIONS
-            and has_factor_form(raw)
-        )
-        if factor_capable:
-            fetches = (
-                0
-                if query.function == "count"
-                else factor_fetch_count(raw, row_idx.size)
-            )
-            return {
-                "path": "factor",
-                "cells": cells,
-                "estimated_row_fetches": fetches,
-            }
-        return {
-            "path": "stream",
-            "cells": cells,
-            "estimated_row_fetches": int(row_idx.size),
-        }
+        plan, _row_idx, _col_idx = self._plan(query, raw, backend, max_rmspe)
+        return plan.to_dict()
 
     @staticmethod
     def _finalize(

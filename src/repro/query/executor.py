@@ -112,8 +112,17 @@ def coerce_query(query):
         return query
     if isinstance(query, str):
         return parse_query(query)
-    if isinstance(query, tuple) and len(query) == 2:
-        return CellQuery(int(query[0]), int(query[1]))
+    if isinstance(query, tuple):
+        if len(query) != 2:
+            raise QueryError(
+                f"cell query tuple must be (row, col); got {len(query)} elements"
+            )
+        try:
+            return CellQuery(int(query[0]), int(query[1]))
+        except (TypeError, ValueError) as exc:
+            raise QueryError(
+                f"cell query indices must be integers, got {query!r}"
+            ) from exc
     raise QueryError(
         f"unsupported query form {type(query).__name__}: expected "
         "CellQuery, AggregateQuery, (row, col), or query text"

@@ -27,20 +27,26 @@ def _normalize(indices: Iterable[int] | slice | None, extent: int | None) -> np.
         if extent is None:
             raise QueryError("slice selections need a known extent")
         return np.arange(extent, dtype=np.int64)[indices]
-    if isinstance(indices, range) and indices.step == 1:
+    if isinstance(indices, range):
         # Bounds-check before materializing: a hostile 'rows 0:10**21'
-        # from the serving boundary must fail fast as a QueryError, not
-        # allocate a 10**21-element list (or overflow int64).
-        start, stop = indices.start, indices.stop
-        if stop <= start:
+        # (with ANY step — range(0, 10**18, 2) is just as unbounded as
+        # the unit-step form) from the serving boundary must fail fast
+        # as a QueryError, not allocate an astronomic list (or overflow
+        # int64).  Pure int arithmetic throughout — len()/indexing a
+        # humongous range would themselves overflow.
+        start, stop, step = indices.start, indices.stop, indices.step
+        if step > 0:
+            size = max(0, (stop - start + step - 1) // step)
+            lo, hi = start, start + (size - 1) * step
+        else:
+            size = max(0, (start - stop - step - 1) // -step)
+            lo, hi = start + (size - 1) * step, start
+        if size == 0:
             raise QueryError("selection must include at least one index")
-        # Pure int arithmetic — len()/indexing a humongous range would
-        # themselves overflow.
-        if extent is not None and (start < 0 or stop > extent):
-            raise QueryError(
-                f"selection [{start}, {stop - 1}] outside [0, {extent})"
-            )
-        return np.arange(indices.start, indices.stop, dtype=np.int64)
+        if extent is not None and (lo < 0 or hi >= extent):
+            raise QueryError(f"selection [{lo}, {hi}] outside [0, {extent})")
+        arr = np.arange(start, stop, step, dtype=np.int64)
+        return arr if step > 0 else arr[::-1].copy()
     try:
         arr = np.unique(np.asarray(list(indices), dtype=np.int64))
     except (OverflowError, ValueError, TypeError) as exc:

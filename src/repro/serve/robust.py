@@ -17,16 +17,18 @@ request flows through it as:
    (:mod:`repro.serve.breaker`, fed by the executor's ``on_rebuild``
    hook), pool dispatch is bypassed entirely;
 5. **brownout** — under sustained shedding, a tripped breaker, or a
-   degraded model open, the dispatcher first tries the materialized
-   summary store: a full-axis aggregate covered by the rollups is
-   answered **exactly** (``degraded: false``, zero ``u.mat`` pages) —
-   including min/max, which the SVD factors alone could not serve
-   honestly.  Everything else falls to the parent-side SVD-only engine
-   (``QueryEngine(include_deltas=False)``): no delta pass, no worker
+   degraded model open, requests route through the parent-side
+   SVD-only engine (``QueryEngine(include_deltas=False)``), whose
+   planner (:func:`repro.plan.plan_aggregate`) admits exactly two
+   aggregate routes: a full-axis selection covered by the materialized
+   rollups is answered **exactly** (``degraded: false``, zero
+   ``u.mat`` pages) — including min/max, which the SVD factors alone
+   could not serve honestly — and everything else the factors can
+   express rides the ``svd`` route: no delta pass, no worker
    round-trip, an answer stamped ``degraded: true`` with the model's
-   stored residual estimate.  Queries that genuinely need per-cell
-   values and miss the summaries are shed instead of silently served
-   wrong.
+   stored residual estimate.  Queries with no admissible route
+   (:class:`~repro.exceptions.RouteUnavailableError`) are shed instead
+   of silently served wrong.
 
 A worker crash mid-request surfaces as ``BrokenProcessPool`` on the
 future; the dispatcher retries exactly once against the rebuilt pool —
@@ -36,7 +38,6 @@ which is what turns "a worker died" into zero client-visible 5xx
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from collections import deque
@@ -47,14 +48,12 @@ from pathlib import Path
 from repro.core.store import CompressedMatrix
 from repro.exceptions import (
     DeadlineExceededError,
-    FormatError,
     OverloadedError,
-    StorageError,
+    RouteUnavailableError,
 )
 from repro.obs.registry import registry as _obs
 from repro.query.engine import AggregateQuery, CellQuery, QueryEngine
 from repro.query.executor import coerce_query
-from repro.query.fastpath import FACTOR_FUNCTIONS
 from repro.query.groupby import bucket_series
 from repro.query.process_executor import ProcessQueryExecutor
 from repro.serve.admission import AdmissionController
@@ -73,17 +72,9 @@ def rmspe_estimate(model_dir: str | Path) -> float | None:
     estimate of the relative reconstruction error a brownout (SVD-only)
     answer carries.  None when the model predates the update subsystem.
     """
-    from repro.core.update import load_update_state
+    from repro.core.update import stored_rmspe_estimate
 
-    try:
-        state = load_update_state(model_dir)
-    except (FormatError, StorageError, OSError):
-        return None
-    total = float(state.get("total_energy", 0.0) or 0.0)
-    residual = float(state.get("residual_sse", 0.0) or 0.0)
-    if total <= 0.0:
-        return None
-    return math.sqrt(max(residual, 0.0) / total)
+    return stored_rmspe_estimate(model_dir)
 
 
 class RobustDispatcher:
@@ -132,6 +123,14 @@ class RobustDispatcher:
             self._fallback_backend,
             use_fast_path=self.config.use_fast_path,
             include_deltas=False,
+        )
+        # Planning twin of the *worker* engines (delta-capable, same
+        # fast-path flag, same mapped backend): healthy-mode explain
+        # must describe the route a pool worker will actually take, not
+        # the brownout engine's.
+        self._planning = QueryEngine(
+            self._fallback_backend,
+            use_fast_path=self.config.use_fast_path,
         )
         self.model_degraded = bool(
             getattr(self._fallback_backend, "degraded", False)
@@ -222,15 +221,6 @@ class RobustDispatcher:
 
     # -- dispatch -------------------------------------------------------
 
-    @staticmethod
-    def _can_degrade(query) -> bool:
-        """Can the SVD-only engine answer this query honestly?"""
-        if isinstance(query, CellQuery):
-            return True
-        if isinstance(query, AggregateQuery):
-            return query.function in FACTOR_FUNCTIONS
-        return False
-
     def dispatch(self, query, timeout_ms: float | None = None) -> dict:
         """Answer one request under the full robustness policy.
 
@@ -312,24 +302,38 @@ class RobustDispatcher:
                 _obs.counter("server.pool_retries").inc()
 
     def _dispatch_degraded(self, query, start_ns: int) -> dict:
-        """The brownout path: exact summary answer when covered, else
-        the SVD factors alone."""
-        summary = self._fallback.try_summary(query)
-        if summary is not None:
-            # The rollups are exact (delta-corrected at materialization
-            # time), so this answer is NOT degraded — and it un-sheds
-            # min/max, which the factor-only engine must refuse.
-            self.summary_brownout_hits += 1
-            _obs.counter("server.summary.brownout_hits").inc()
-            return self._payload(summary, start_ns, degraded=False)
-        if not self._can_degrade(query):
-            self._note_shed()
-            raise self.admission.shed(
-                "brownout",
-                "server is in brownout (SVD-only answers) and this query "
-                "needs per-cell values; retry after "
-                f"{self.config.retry_after_s:g}s",
-            )
+        """The brownout path, routed by the planner against the
+        SVD-only engine.
+
+        A selection the rollups fully cover comes back on the
+        ``summary`` route — exact (delta-corrected at materialization
+        time), so NOT degraded, which is what un-sheds min/max.
+        Everything else the planner can still admit rides the ``svd``
+        route: the bare factors, stamped degraded with the stored
+        RMSPE.  A query with no admissible route
+        (:class:`~repro.exceptions.RouteUnavailableError`) is shed
+        instead of silently served wrong.
+        """
+        if isinstance(query, AggregateQuery):
+            try:
+                result = self._fallback.aggregate(query)
+            except RouteUnavailableError:
+                self._note_shed()
+                raise self.admission.shed(
+                    "brownout",
+                    "server is in brownout (SVD-only answers) and this query "
+                    "needs per-cell values; retry after "
+                    f"{self.config.retry_after_s:g}s",
+                ) from None
+            degraded = result.route == "svd"
+            if degraded:
+                self.degraded_answers += 1
+                _obs.counter("server.degraded_answers").inc()
+            else:
+                self.summary_brownout_hits += 1
+                _obs.counter("server.summary.brownout_hits").inc()
+            return self._payload(result, start_ns, degraded=degraded)
+        # Cell probes answer from svd_cell — always degraded.
         result = self._fallback.execute(query)
         self.degraded_answers += 1
         _obs.counter("server.degraded_answers").inc()
@@ -344,6 +348,9 @@ class RobustDispatcher:
             "degraded": degraded,
             "elapsed_ms": round(elapsed_ms, 3),
         }
+        if result.route:
+            payload["route"] = result.route
+            payload["error_bound"] = result.error_bound
         if degraded:
             payload["rmspe_estimate"] = self.rmspe
         if result.profile is not None and result.profile.trace_id:
@@ -390,11 +397,24 @@ class RobustDispatcher:
     def explain(self, query) -> dict:
         """Plan a query without executing it (no pool round-trip).
 
-        Runs against the parent-side engine — plans are computed from
-        backend capabilities alone, so the worker pool's health is
-        irrelevant to them.
+        Runs against the parent-side engine whose mode matches how
+        :meth:`dispatch` would answer *right now*: the delta-capable
+        planning twin of the pool workers while healthy, the SVD-only
+        brownout engine while :meth:`brownout_active` — so the reported
+        route is the executed route in either mode.  A brownout query
+        with no admissible route explains as ``path="shed"`` (dispatch
+        would raise :class:`~repro.exceptions.OverloadedError`) rather
+        than inventing a plan.
         """
-        return self._fallback.explain(coerce_query(query))
+        coerced = coerce_query(query)
+        brownout = self.brownout_active()
+        engine = self._fallback if brownout else self._planning
+        try:
+            plan = engine.explain(coerced)
+        except RouteUnavailableError as exc:
+            plan = {"path": "shed", "reason": str(exc)}
+        plan["mode"] = "brownout" if brownout else "healthy"
+        return plan
 
     # -- reporting ------------------------------------------------------
 

@@ -12,7 +12,9 @@
   series from the materialized summary store (zero ``u.mat`` pages on
   a hit; ``by`` is ``day``/``week``/``month``/``quarter``/``year``/
   ``customer``);
-- ``GET /explain?q=<text>`` — the engine's plan, never executed;
+- ``GET /explain?q=<text>`` — the planner's chosen route (the one
+  ``/query`` would execute right now, healthy or brownout), never
+  executed;
 - ``GET /stats`` — the dispatcher's health snapshot (JSON);
 - ``GET /healthz`` / ``/healthz/live`` — liveness (always ``ok``);
 - ``GET /healthz/ready`` — readiness (503 while warming or draining);
@@ -20,7 +22,10 @@
 
 Every query route accepts a deadline as ``?timeout_ms=`` or the
 ``X-Repro-Deadline-Ms`` header (query param wins), clamped to the
-configured maximum.
+configured maximum.  ``/query``, ``/aggregate``, and ``/explain``
+additionally accept ``?max_rmspe=`` — the per-query error budget the
+planner enforces (0 demands exactness; a positive fraction admits the
+approximate SVD-only route when the model's stored estimate fits).
 
 **Error contract** — the handler maps exceptions, never leaks them:
 
@@ -44,6 +49,7 @@ requests bounded by ``drain_grace_s``, stops the pool, and releases
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import signal
 import threading
@@ -64,6 +70,7 @@ from repro.obs.serve import (
     GracefulHTTPServer,
     HealthState,
 )
+from repro.query.engine import AggregateQuery
 from repro.query.parser import parse_query
 from repro.serve.config import ServeConfig
 from repro.serve.robust import RobustDispatcher
@@ -153,7 +160,21 @@ class _QueryHandler(BaseEndpointHandler):
         text = self._one(params, "q")
         if text is None:
             raise QueryError("missing required parameter 'q'")
-        return parse_query(text)
+        return self._with_budget(parse_query(text), params)
+
+    def _with_budget(self, query, params: dict):
+        """Attach a ``max_rmspe=`` error budget to an aggregate query.
+
+        Validation happens in ``AggregateQuery.__post_init__`` (a bad
+        budget is a :class:`QueryError` → 400); the parameter is
+        rejected on queries that cannot carry one.
+        """
+        raw = self._one(params, "max_rmspe")
+        if raw is None:
+            return query
+        if not isinstance(query, AggregateQuery):
+            raise QueryError("max_rmspe only applies to aggregate queries")
+        return dataclasses.replace(query, max_rmspe=raw)
 
     def _cell_query(self, params: dict):
         row, col = self._one(params, "row"), self._one(params, "col")
@@ -176,7 +197,7 @@ class _QueryHandler(BaseEndpointHandler):
             parts.append(f"rows {rows}")
         if cols:
             parts.append(f"cols {cols}")
-        return parse_query(" ".join(parts))
+        return self._with_budget(parse_query(" ".join(parts)), params)
 
     def _timeout_ms(self, params: dict) -> float | None:
         raw = self._one(params, "timeout_ms")

@@ -420,6 +420,39 @@ class MatrixStore:
             worst = max(worst, end // page - start // page + 1)
         return worst
 
+    @property
+    def page_size(self) -> int:
+        """Backing pager's page size in bytes."""
+        return self._pager.page_size
+
+    def pages_for_rows(self, indices) -> int:
+        """Distinct pages a batched read of ``indices`` would touch.
+
+        Pure arithmetic — the same first/last-page union
+        :meth:`read_rows` performs before fetching, with no I/O and no
+        pool traffic — so the query planner can price a gather without
+        executing it.  Duplicate indices count once, exactly as the
+        coalesced read would treat them.
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return 0
+        if idx.min() < 0 or idx.max() >= self._rows:
+            raise QueryError(
+                f"row selection outside [0, {self._rows}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        row_bytes = self._cols * self._item
+        page_size = self._pager.page_size
+        offsets = self._data_offset + idx * row_bytes
+        first = offsets // page_size
+        last = (offsets + row_bytes - 1) // page_size
+        max_span = int((last - first).max())
+        needed = np.unique(
+            np.concatenate([np.minimum(first + d, last) for d in range(max_span + 1)])
+        )
+        return int(needed.size)
+
     # -- random access -----------------------------------------------------
 
     def _row_offset(self, index: int) -> int:

@@ -1,0 +1,425 @@
+"""Unit tests for the cost-based aggregate planner.
+
+Covers the route lattice and pricing (``repro.plan``), the
+``max_rmspe`` budget semantics — including the structural guarantee
+that ``max_rmspe=0.0`` can never select the approximate SVD-only
+route — the brownout explain/execute parity that used to diverge, the
+typed-error contract for malformed cell tuples, and the stepped-range
+DoS guard in :class:`Selection`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SVDDCompressor
+from repro.core.build import build_compressed
+from repro.exceptions import QueryError, RouteUnavailableError
+from repro.plan import (
+    ROUTE_FACTOR,
+    ROUTE_STREAM,
+    ROUTE_SUMMARY,
+    ROUTE_SVD,
+    ROUTES,
+    CostParams,
+    page_read_ms,
+    plan_aggregate,
+    svd_error_bound,
+)
+from repro.plan.planner import validate_max_rmspe
+from repro.query import AggregateQuery, QueryEngine, Selection
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(4117)
+    x = rng.standard_normal((80, 6)) @ rng.standard_normal((6, 24))
+    x[3, 5] += 300.0  # outliers so the compressor stores deltas
+    x[40, 11] -= 250.0
+    x[77, 0] += 400.0
+    return x
+
+
+@pytest.fixture(scope="module")
+def svdd_model(data):
+    model = SVDDCompressor(budget_fraction=0.25).fit(data)
+    assert model.num_deltas > 0
+    return model
+
+
+@pytest.fixture(scope="module")
+def model_dir(tmp_path_factory, data):
+    """A build_compressed model: summaries AND a stored RMSPE estimate."""
+    directory = tmp_path_factory.mktemp("planner") / "model"
+    build_compressed(data, directory, budget_fraction=0.25).close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def compressed(model_dir):
+    from repro.core import CompressedMatrix
+
+    store = CompressedMatrix.open(model_dir)
+    yield store
+    store.close()
+
+
+def _resolve(backend, rows=None, cols=None):
+    return Selection(rows=rows, cols=cols).resolve(tuple(backend.shape))
+
+
+class TestRouteSelection:
+    def test_full_axis_hits_summary(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 10))
+        plan = plan_aggregate(compressed, "avg", row_idx, col_idx)
+        assert plan.route.name == ROUTE_SUMMARY
+        assert plan.route.pages == 0
+        assert plan.route.row_fetches == 0
+        assert plan.route.error_bound == 0.0
+
+    def test_sub_rectangle_prefers_factor(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "sum", row_idx, col_idx)
+        assert plan.route.name == ROUTE_FACTOR
+        names = [c.name for c in plan.candidates]
+        assert ROUTE_STREAM in names  # stream always admissible, just pricier
+        assert plan.route.error_bound == 0.0
+
+    def test_candidates_sorted_cheapest_first(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 30), cols=range(0, 12))
+        plan = plan_aggregate(compressed, "sum", row_idx, col_idx)
+        costs = [c.cost_ms for c in plan.candidates]
+        assert costs == sorted(costs)
+        assert plan.candidates[0] is plan.route
+
+    def test_min_max_cannot_use_factor_space(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "min", row_idx, col_idx)
+        assert plan.route.name == ROUTE_STREAM
+        rejected = {r.name: r.reason for r in plan.rejected}
+        assert "per-cell values" in rejected[ROUTE_FACTOR]
+        assert "per-cell values" in rejected[ROUTE_SVD]
+
+    def test_count_is_free_of_io(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "count", row_idx, col_idx)
+        assert plan.route.row_fetches == 0
+        assert plan.route.pages == 0
+
+    def test_summaries_disabled_rejects_summary_route(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 10))
+        plan = plan_aggregate(
+            compressed, "avg", row_idx, col_idx, use_summaries=False
+        )
+        assert plan.route.name != ROUTE_SUMMARY
+        rejected = {r.name: r.reason for r in plan.rejected}
+        assert rejected[ROUTE_SUMMARY] == "summaries disabled for this engine"
+
+    def test_ndarray_backend_streams_or_summarizes_only(self, data):
+        row_idx, col_idx = _resolve(data, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(data, "sum", row_idx, col_idx)
+        assert plan.route.name == ROUTE_STREAM
+        rejected = {r.name for r in plan.rejected}
+        assert {ROUTE_SUMMARY, ROUTE_FACTOR, ROUTE_SVD} <= rejected
+
+    def test_plan_is_deterministic(self, compressed):
+        row_idx, col_idx = _resolve(compressed, rows=range(0, 25), cols=range(0, 20))
+        first = plan_aggregate(compressed, "stddev", row_idx, col_idx)
+        second = plan_aggregate(compressed, "stddev", row_idx, col_idx)
+        assert first.route == second.route
+        assert first.candidates == second.candidates
+
+
+class TestPricing:
+    def test_floor_ordering_encodes_small_query_ranking(self):
+        params = CostParams()
+        assert params.summary_floor_ms < params.factor_floor_ms
+        assert params.factor_floor_ms < params.stream_floor_ms
+
+    def test_for_backend_tiers(self):
+        from repro.costmodel import DISK, MEMORY
+
+        assert CostParams.for_backend(True).tier is MEMORY
+        assert CostParams.for_backend(False).tier is DISK
+
+    def test_page_read_blends_hits_and_misses(self):
+        from repro.costmodel import DISK, MEMORY
+
+        params = CostParams(tier=DISK)
+        cold = page_read_ms(params, pages=4, page_bytes=4096, hit_rate=0.0)
+        warm = page_read_ms(params, pages=4, page_bytes=4096, hit_rate=1.0)
+        assert cold == pytest.approx(4 * DISK.access_ms(4096))
+        assert warm == pytest.approx(4 * MEMORY.access_ms(4096))
+        assert warm < cold
+
+    def test_more_cells_cost_more_on_stream(self, compressed):
+        small = _resolve(compressed, rows=range(0, 5), cols=range(0, 5))
+        large = _resolve(compressed, rows=range(0, 60), cols=None)
+        cost_of = lambda idx: next(  # noqa: E731
+            c.cost_ms
+            for c in plan_aggregate(compressed, "min", *idx).candidates
+            if c.name == ROUTE_STREAM
+        )
+        assert cost_of(small) < cost_of(large)
+
+
+class TestMaxRmspeSemantics:
+    def test_zero_budget_provably_never_selects_svd(self, compressed, svdd_model, data):
+        """max_rmspe=0.0 rejects svd before pricing, on every backend,
+        engine mode, function, and selection shape."""
+        backends = [compressed, svdd_model, data]
+        selections = [
+            dict(rows=range(0, 10)),
+            dict(rows=range(0, 10), cols=range(0, 10)),
+            dict(),
+        ]
+        for backend in backends:
+            for include_deltas in (True, False):
+                for function in ("sum", "avg", "count", "min", "max", "stddev"):
+                    for sel in selections:
+                        idx = _resolve(backend, **sel)
+                        try:
+                            plan = plan_aggregate(
+                                backend,
+                                function,
+                                *idx,
+                                include_deltas=include_deltas,
+                                max_rmspe=0.0,
+                            )
+                        except RouteUnavailableError:
+                            continue  # no route at all beats a wrong route
+                        assert plan.route.name != ROUTE_SVD
+                        assert all(
+                            c.name != ROUTE_SVD for c in plan.candidates
+                        )
+                        assert plan.route.error_bound == 0.0
+
+    def test_zero_budget_rejection_reason(self, compressed):
+        idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "sum", *idx, max_rmspe=0.0)
+        rejected = {r.name: r.reason for r in plan.rejected}
+        assert rejected[ROUTE_SVD] == "max_rmspe=0 demands an exact answer"
+
+    def test_loose_budget_admits_svd_with_stored_estimate(self, compressed):
+        bound = svd_error_bound(compressed)
+        assert bound is not None and bound > 0.0
+        idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "sum", *idx, max_rmspe=1.0)
+        # svd skips the delta fold, so with deltas present it undercuts
+        # the exact factor route and wins.
+        assert plan.route.name == ROUTE_SVD
+        assert plan.route.error_bound == pytest.approx(bound)
+
+    def test_tight_budget_rejects_svd_with_reason(self, compressed):
+        bound = svd_error_bound(compressed)
+        tight = bound / 2
+        idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "sum", *idx, max_rmspe=tight)
+        assert plan.route.name != ROUTE_SVD
+        rejected = {r.name: r.reason for r in plan.rejected}
+        assert "exceeds" in rejected[ROUTE_SVD]
+
+    def test_no_budget_means_exact_only(self, compressed):
+        idx = _resolve(compressed, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(compressed, "sum", *idx, max_rmspe=None)
+        assert all(c.name != ROUTE_SVD for c in plan.candidates)
+        rejected = {r.name: r.reason for r in plan.rejected}
+        assert "explicit max_rmspe budget" in rejected[ROUTE_SVD]
+
+    def test_budget_without_stored_estimate_rejects_svd(self, svdd_model):
+        assert svd_error_bound(svdd_model) is None
+        idx = _resolve(svdd_model, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(svdd_model, "sum", *idx, max_rmspe=0.5)
+        assert plan.route.name != ROUTE_SVD
+        rejected = {r.name: r.reason for r in plan.rejected}
+        assert "no stored RMSPE estimate" in rejected[ROUTE_SVD]
+
+    def test_attached_estimate_attribute_is_honored(self, svdd_model, data):
+        import copy
+
+        backend = copy.copy(svdd_model)
+        backend.rmspe_estimate = 0.05
+        assert svd_error_bound(backend) == pytest.approx(0.05)
+        idx = _resolve(backend, rows=range(0, 10), cols=range(0, 10))
+        plan = plan_aggregate(backend, "sum", *idx, max_rmspe=0.1)
+        assert plan.route.name == ROUTE_SVD
+        assert plan.route.error_bound == pytest.approx(0.05)
+
+    def test_validate_max_rmspe(self):
+        assert validate_max_rmspe(None) is None
+        assert validate_max_rmspe(0.3) == pytest.approx(0.3)
+        assert validate_max_rmspe("0.3") == pytest.approx(0.3)
+        assert validate_max_rmspe(0) == 0.0
+        for bad in (-0.1, float("nan"), float("inf"), "plenty", object()):
+            with pytest.raises(QueryError):
+                validate_max_rmspe(bad)
+
+    def test_aggregate_query_validates_budget_at_construction(self):
+        with pytest.raises(QueryError):
+            AggregateQuery("sum", Selection(), max_rmspe=-1.0)
+        with pytest.raises(QueryError):
+            AggregateQuery("sum", Selection(), max_rmspe="plenty")
+        query = AggregateQuery("sum", Selection(), max_rmspe="0.25")
+        assert query.max_rmspe == pytest.approx(0.25)
+
+
+class TestEngineIntegration:
+    def test_explained_route_is_executed_route(self, compressed):
+        engine = QueryEngine(compressed)
+        for function in ("sum", "avg", "count", "min", "max", "stddev"):
+            for sel in (Selection(rows=range(0, 10)), Selection(rows=range(0, 10), cols=range(0, 10))):
+                query = AggregateQuery(function, sel)
+                plan = engine.explain(query)
+                result = engine.aggregate(query)
+                assert plan["path"] == result.route
+                assert plan["error_bound"] == result.error_bound
+
+    def test_zero_budget_end_to_end_is_exact(self, compressed, data):
+        engine = QueryEngine(compressed)
+        query = AggregateQuery(
+            "sum",
+            Selection(rows=range(0, 10), cols=range(0, 10)),
+            max_rmspe=0.0,
+        )
+        result = engine.aggregate(query)
+        assert result.route != ROUTE_SVD
+        assert result.error_bound == 0.0
+        # The exact route reproduces the delta-corrected values.
+        reference = QueryEngine(compressed, use_fast_path=False, use_summaries=False)
+        exact = reference.aggregate(AggregateQuery("sum", query.selection))
+        assert result.value == pytest.approx(exact.value, rel=1e-9)
+
+    def test_loose_budget_takes_svd_and_stamps_bound(self, compressed):
+        engine = QueryEngine(compressed)
+        query = AggregateQuery("sum", Selection(rows=range(0, 10), cols=range(0, 10)))
+        result = engine.aggregate(query, max_rmspe=1.0)
+        assert result.route == ROUTE_SVD
+        assert result.error_bound == pytest.approx(svd_error_bound(compressed))
+
+    def test_planner_route_counter(self, compressed, enabled_registry):
+        engine = QueryEngine(compressed)
+        engine.aggregate(AggregateQuery("avg", Selection(rows=range(0, 10))))
+        snapshot = enabled_registry.snapshot()
+        assert snapshot["counters"].get("planner.route.summary", 0) >= 1
+
+    def test_profile_carries_bound_and_prediction(self, compressed, enabled_registry):
+        engine = QueryEngine(compressed)
+        result = engine.aggregate(
+            AggregateQuery("sum", Selection(rows=range(0, 10), cols=range(0, 10)))
+        )
+        assert result.profile is not None
+        assert result.profile.error_bound == 0.0
+        assert result.profile.predicted_pages is not None
+
+
+class TestBrownoutParity:
+    """The regression the planner exists to prevent: the SVD-only
+    (brownout) engine must explain and execute identically."""
+
+    def test_min_sub_rectangle_unanswerable_both_ways(self, svdd_model):
+        engine = QueryEngine(svdd_model, include_deltas=False)
+        query = AggregateQuery("min", Selection(rows=range(0, 10), cols=range(0, 10)))
+        with pytest.raises(RouteUnavailableError):
+            engine.explain(query)
+        with pytest.raises(RouteUnavailableError):
+            engine.aggregate(query)
+
+    def test_route_unavailable_is_a_query_error(self):
+        assert issubclass(RouteUnavailableError, QueryError)
+
+    def test_brownout_engine_degrades_to_svd_by_default(self, svdd_model):
+        engine = QueryEngine(svdd_model, include_deltas=False)
+        query = AggregateQuery("sum", Selection(rows=range(0, 10), cols=range(0, 10)))
+        plan = engine.explain(query)
+        result = engine.aggregate(query)
+        assert plan["path"] == ROUTE_SVD == result.route
+        # In-memory model without a stored estimate: bound unknown.
+        assert plan["error_bound"] is None
+        assert result.error_bound is None
+
+    def test_brownout_zero_budget_sheds_instead_of_svd(self, svdd_model):
+        engine = QueryEngine(svdd_model, include_deltas=False)
+        query = AggregateQuery(
+            "sum", Selection(rows=range(0, 10), cols=range(0, 10)), max_rmspe=0.0
+        )
+        with pytest.raises(RouteUnavailableError):
+            engine.aggregate(query)
+        with pytest.raises(RouteUnavailableError):
+            engine.explain(query)
+
+    def test_unavailable_message_names_every_rejection(self, svdd_model):
+        engine = QueryEngine(svdd_model, include_deltas=False)
+        query = AggregateQuery("max", Selection(rows=range(0, 10), cols=range(0, 10)))
+        with pytest.raises(RouteUnavailableError) as excinfo:
+            engine.aggregate(query)
+        message = str(excinfo.value)
+        for route in (ROUTE_FACTOR, ROUTE_SVD, ROUTE_STREAM):
+            assert route in message
+
+
+class TestMalformedCellTuples:
+    def test_wrong_arity_is_query_error(self, data):
+        engine = QueryEngine(data)
+        for bad in ((1, 2, 3), (1,), ()):
+            with pytest.raises(QueryError):
+                engine.cell(bad)
+            with pytest.raises(QueryError):
+                engine.execute(bad)
+            with pytest.raises(QueryError):
+                engine.explain(bad)
+
+    def test_non_numeric_members_are_query_error(self, data):
+        engine = QueryEngine(data)
+        with pytest.raises(QueryError):
+            engine.cell((1, "x"))
+        with pytest.raises(QueryError):
+            engine.cells([(1, 2), (None, 3)])
+
+    def test_executor_coercion_matches(self):
+        from repro.query.executor import coerce_query
+
+        with pytest.raises(QueryError):
+            coerce_query((1, 2, 3))
+        with pytest.raises(QueryError):
+            coerce_query((1, object()))
+
+
+class TestSteppedRangeGuard:
+    def test_huge_stepped_range_fails_fast(self):
+        for hostile in (
+            range(0, 10**18, 2),
+            range(0, 10**21),
+            range(10**18, -1, -1),
+            range(10**21, 0, -7),
+        ):
+            with pytest.raises(QueryError):
+                Selection(rows=hostile).resolve((100, 100))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(rows=range(5, 5)).resolve((10, 10))
+        with pytest.raises(QueryError):
+            Selection(rows=range(5, 0)).resolve((10, 10))
+
+    def test_stepped_ranges_resolve_ascending(self):
+        rows, _ = Selection(rows=range(0, 10, 2)).resolve((20, 4))
+        assert list(rows) == [0, 2, 4, 6, 8]
+        rows, _ = Selection(rows=range(9, -1, -3)).resolve((20, 4))
+        assert list(rows) == [0, 3, 6, 9]
+
+    def test_stepped_range_aggregate_matches_explicit_list(self, data):
+        engine = QueryEngine(data)
+        stepped = engine.aggregate(
+            AggregateQuery("sum", Selection(rows=range(0, 20, 3)))
+        )
+        explicit = engine.aggregate(
+            AggregateQuery("sum", Selection(rows=list(range(0, 20, 3))))
+        )
+        assert stepped.value == pytest.approx(explicit.value)
+
+    def test_out_of_range_step_selection_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(rows=range(0, 200, 7)).resolve((100, 100))
+        with pytest.raises(QueryError):
+            Selection(rows=range(-5, 10, 5)).resolve((100, 100))

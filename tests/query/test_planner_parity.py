@@ -1,0 +1,213 @@
+"""Matrixed explain/execute parity suite.
+
+The planner's whole reason to exist: for every combination of backend,
+engine mode, aggregate function, selection shape, and error budget,
+``explain`` must name exactly the route ``aggregate`` takes — and when
+no route is admissible, both must raise the same
+:class:`RouteUnavailableError`.  The matrix deliberately spans the
+summary store's three states (fresh, stale-after-append, absent) and
+both engine delta modes, because those were the axes along which the
+pre-planner call sites diverged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedMatrix, SVDDCompressor
+from repro.core.build import build_compressed
+from repro.core.update import append_columns
+from repro.exceptions import RouteUnavailableError
+from repro.query import AggregateQuery, QueryEngine, Selection
+
+FUNCTIONS = ("sum", "avg", "count", "min", "max", "stddev")
+
+SELECTIONS = {
+    "full": Selection(),
+    "row-band": Selection(rows=range(0, 12)),
+    "sub-rect": Selection(rows=range(4, 30), cols=range(2, 14)),
+}
+
+BUDGETS = {"exact-only": None, "zero": 0.0, "loose": 0.9}
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(90125)
+    x = rng.standard_normal((64, 5)) @ rng.standard_normal((5, 20))
+    x[7, 3] += 200.0
+    x[33, 15] -= 180.0
+    x[60, 1] += 250.0
+    return x
+
+
+@pytest.fixture(scope="module")
+def svdd_model(data):
+    model = SVDDCompressor(budget_fraction=0.25).fit(data)
+    assert model.num_deltas > 0
+    return model
+
+
+@pytest.fixture(scope="module")
+def fresh_dir(tmp_path_factory, data):
+    directory = tmp_path_factory.mktemp("parity") / "fresh"
+    build_compressed(data, directory, budget_fraction=0.25).close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def stale_dir(tmp_path_factory, data):
+    """A model whose summaries were NOT refreshed across an append.
+
+    The deferred refresh carries the files forward stamped with the
+    *old* coverage, so full-axis selections become partial hits — the
+    ``summary+factor`` route's natural habitat.
+    """
+    directory = tmp_path_factory.mktemp("parity") / "stale"
+    build_compressed(data, directory, budget_fraction=0.25).close()
+    rng = np.random.default_rng(5)
+    append_columns(
+        directory,
+        rng.standard_normal((data.shape[0], 2)),
+        refresh_summaries=False,
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def backends(data, svdd_model, fresh_dir, stale_dir):
+    """name -> (backend, engine_kwargs) covering the summary states."""
+    fresh = CompressedMatrix.open(fresh_dir)
+    stale = CompressedMatrix.open(stale_dir)
+    assert fresh.summaries is not None, "fresh model must carry summaries"
+    assert stale.summaries is not None and not stale.summaries.fresh, (
+        "deferred append must leave partially-covered summaries"
+    )
+    yield {
+        "ndarray": (data, {}),
+        "svdd-in-memory": (svdd_model, {}),
+        "compressed-fresh": (fresh, {}),
+        "compressed-stale": (stale, {}),
+        "compressed-no-summaries": (fresh, {"use_summaries": False}),
+    }
+    fresh.close()
+    stale.close()
+
+
+def _attempt(callable_):
+    """(outcome, payload): outcome is 'ok' or 'unavailable'."""
+    try:
+        return "ok", callable_()
+    except RouteUnavailableError as exc:
+        return "unavailable", str(exc)
+
+
+@pytest.mark.parametrize("include_deltas", [True, False], ids=["deltas", "svd-only"])
+@pytest.mark.parametrize(
+    "backend_name",
+    [
+        "ndarray",
+        "svdd-in-memory",
+        "compressed-fresh",
+        "compressed-stale",
+        "compressed-no-summaries",
+    ],
+)
+def test_explain_matches_execute_everywhere(backends, backend_name, include_deltas):
+    backend, kwargs = backends[backend_name]
+    engine = QueryEngine(backend, include_deltas=include_deltas, **kwargs)
+    reference = QueryEngine(backend, use_fast_path=False, use_summaries=False)
+    for function in FUNCTIONS:
+        for sel_name, selection in SELECTIONS.items():
+            for budget_name, budget in BUDGETS.items():
+                label = f"{backend_name}/{function}/{sel_name}/{budget_name}"
+                query = AggregateQuery(function, selection, max_rmspe=budget)
+                explained, plan = _attempt(lambda: engine.explain(query))
+                executed, result = _attempt(lambda: engine.aggregate(query))
+
+                # 1. Explain and execute agree on answerability.
+                assert explained == executed, (
+                    f"{label}: explain={explained} but execute={executed}"
+                )
+                if explained == "unavailable":
+                    continue
+
+                # 2. The explained route IS the executed route, with
+                #    the same achieved error bound.
+                assert plan["path"] == result.route, (
+                    f"{label}: explained {plan['path']!r} "
+                    f"but executed {result.route!r}"
+                )
+                assert plan["error_bound"] == result.error_bound, label
+                assert plan["candidates"][0]["route"] == plan["path"], label
+                assert plan["cells"] == result.cells_touched, label
+
+                # 3. A zero budget provably never yields the svd route.
+                if budget == 0.0:
+                    assert result.route != "svd", label
+                    assert result.error_bound == 0.0, label
+
+                # 4. Every exact answer agrees with the delta-corrected
+                #    streaming reference on the same backend.
+                if result.error_bound == 0.0:
+                    expected = reference.aggregate(
+                        AggregateQuery(function, selection)
+                    )
+                    assert result.value == pytest.approx(
+                        expected.value, rel=1e-9, abs=1e-9
+                    ), label
+
+
+def test_matrix_covers_every_route(backends):
+    """Sanity check on the matrix itself: across all combinations the
+    planner exercises all five routes (no silently dead lattice arm)."""
+    seen = set()
+    for backend_name, (backend, kwargs) in backends.items():
+        for include_deltas in (True, False):
+            engine = QueryEngine(backend, include_deltas=include_deltas, **kwargs)
+            for function in FUNCTIONS:
+                for selection in SELECTIONS.values():
+                    for budget in BUDGETS.values():
+                        query = AggregateQuery(function, selection, max_rmspe=budget)
+                        outcome, plan = _attempt(lambda: engine.explain(query))
+                        if outcome == "ok":
+                            seen.add(plan["path"])
+    assert {"summary", "summary+factor", "factor", "svd", "stream"} <= seen
+
+
+def test_stale_summaries_take_partial_route_without_divergence(backends):
+    """The partially-covered model must not hand out full rollup hits —
+    the residual columns the rollups miss get streamed and merged, and
+    explain names that exact decomposition via the same planner."""
+    backend, kwargs = backends["compressed-stale"]
+    engine = QueryEngine(backend, **kwargs)
+
+    # A factor-capable aggregate: the full rollup hit must be off the
+    # table, summary+factor must be priced as an exact candidate, and
+    # whatever wins, explain and execute agree.
+    avg = AggregateQuery("avg", Selection(rows=range(0, 12)))
+    plan = engine.explain(avg)
+    assert plan["path"] != "summary"
+    candidates = {c["route"]: c for c in plan["candidates"]}
+    assert "summary" not in candidates
+    assert candidates["summary+factor"]["error_bound"] == 0.0
+    assert candidates["summary+factor"]["row_fetches"] > 0  # residual stream
+    assert engine.aggregate(avg).route == plan["path"]
+
+    # min cannot use factor space, and over the full matrix the rollup
+    # core plus a two-column residual beats streaming every cell — the
+    # partial summary route wins outright.
+    low = AggregateQuery("min", Selection())
+    plan = engine.explain(low)
+    assert plan["path"] == "summary+factor"
+    result = engine.aggregate(low)
+    assert result.route == "summary+factor"
+    assert result.error_bound == 0.0
+    assert engine.stats["summary_partial"] == 1
+    assert engine.stats["summary_hits"] == 0
+    reference = QueryEngine(backend, use_fast_path=False, use_summaries=False)
+    assert result.value == pytest.approx(
+        reference.aggregate(AggregateQuery("min", low.selection)).value,
+        rel=1e-9,
+    )

@@ -83,3 +83,41 @@ class TestEmptySelections:
     def test_zero_extent_matrix(self):
         with pytest.raises(QueryError):
             Selection().resolve((0, 4))
+
+
+class TestSteppedRanges:
+    """range selections with step != 1 — bounds-checked before any
+    materialization, so hostile sizes die fast as QueryError."""
+
+    def test_positive_step_resolves_sorted(self):
+        rows, _ = Selection(rows=range(1, 12, 3)).resolve((20, 4))
+        assert list(rows) == [1, 4, 7, 10]
+
+    def test_negative_step_resolves_ascending(self):
+        rows, _ = Selection(rows=range(10, 0, -2)).resolve((20, 4))
+        assert list(rows) == [2, 4, 6, 8, 10]
+
+    def test_huge_stepped_range_fails_fast_without_allocation(self):
+        import time
+
+        for hostile in (
+            range(0, 10**18, 2),
+            range(0, 10**21, 5),
+            range(10**21, -1, -3),
+        ):
+            start = time.perf_counter()
+            with pytest.raises(QueryError):
+                Selection(rows=hostile).resolve((100, 100))
+            assert time.perf_counter() - start < 1.0
+
+    def test_empty_stepped_range_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(rows=range(0, 10, -1)).resolve((20, 20))
+        with pytest.raises(QueryError):
+            Selection(rows=range(10, 0, 2)).resolve((20, 20))
+
+    def test_out_of_bounds_step_endpoints_rejected(self):
+        with pytest.raises(QueryError):
+            Selection(rows=range(0, 25, 6)).resolve((24, 4))
+        with pytest.raises(QueryError):
+            Selection(rows=range(-3, 9, 3)).resolve((24, 4))

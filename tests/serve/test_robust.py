@@ -52,9 +52,37 @@ class TestHealthyPath:
         with pytest.raises(QueryError):
             dispatcher.dispatch("sum() rows 0:1000000")
 
+    def test_fuzzed_tuple_arity_is_typed_error(self, dispatcher):
+        # Wrong-arity tuples used to escape as TypeError from the int()
+        # coercion — a traceback, not a structured 400.
+        for bad in ((1, 2, 3), (1,), (), (1, "x")):
+            with pytest.raises(QueryError):
+                dispatcher.dispatch(bad)
+
+    def test_hostile_stepped_range_is_typed_error(self, dispatcher):
+        from repro.query import AggregateQuery, Selection
+
+        # A stepped astronomic range must fail the bounds check before
+        # materializing anything — QueryError, never an OOM.
+        for hostile in (range(0, 10**18, 2), range(10**21, 0, -7)):
+            query = AggregateQuery("sum", Selection(rows=hostile))
+            with pytest.raises(QueryError):
+                dispatcher.dispatch(query)
+
     def test_explain_without_execution(self, dispatcher):
+        # rows 0:10 x all cols is covered by the materialized row
+        # rollups, so the healthy workers answer it on the summary
+        # route — and explain must say so (pre-planner, this explained
+        # via the brownout engine as "factor": the divergence bug).
         plan = dispatcher.explain("avg() rows 0:10")
-        assert plan["path"] == "factor"
+        assert plan["path"] == "summary"
+        assert plan["mode"] == "healthy"
+
+    def test_explain_path_matches_dispatched_route(self, dispatcher):
+        for text in ("avg() rows 0:10", "sum() rows 0:40 cols 0:25", "min()"):
+            plan = dispatcher.explain(text)
+            payload = dispatcher.dispatch(text)
+            assert plan["path"] == payload["route"], text
 
 
 class TestDeadlines:

@@ -78,10 +78,18 @@ class TestRoutes:
         assert payload["cells"] == 100
 
     def test_explain_route(self, server):
+        # Full-axis selection: covered by the rollups → summary route.
         text = urllib.parse.quote("stddev() rows 0:10")
         status, _headers, plan = _get(server.url, f"/explain?q={text}")
         assert status == 200
+        assert plan["path"] == "summary"
+        assert plan["mode"] == "healthy"
+        # Sub-rectangle: summaries cannot cover it → factor route.
+        text = urllib.parse.quote("stddev() rows 0:10 cols 0:10")
+        status, _headers, plan = _get(server.url, f"/explain?q={text}")
+        assert status == 200
         assert plan["path"] == "factor"
+        assert plan["error_bound"] == 0.0
 
     def test_stats_route(self, server):
         status, _headers, stats = _get(server.url, "/stats")

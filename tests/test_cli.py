@@ -186,7 +186,11 @@ class TestTelemetryFlags:
             ["query", str(model_dir), "avg() rows 0:50 cols 0:30", "--explain"]
         ) == 0
         plan = json.loads(capsys.readouterr().out)
-        assert plan == {"path": "factor", "cells": 1500, "estimated_row_fetches": 50}
+        assert plan["path"] == "factor"
+        assert plan["cells"] == 1500
+        assert plan["estimated_row_fetches"] == 50
+        assert plan["error_bound"] == 0.0
+        assert {c["route"] for c in plan["candidates"]} >= {"factor", "stream"}
 
     def test_query_profile(self, model_dir, capsys):
         import json
